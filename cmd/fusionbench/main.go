@@ -1,0 +1,58 @@
+// Command fusionbench regenerates the tables and figures of the paper's
+// evaluation from the modeled system.
+//
+// Usage:
+//
+//	fusionbench -exp all
+//	fusionbench -exp fig9a
+//	fusionbench -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"zynqfusion/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (see -list) or 'all'")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.All() {
+			fmt.Printf("%-18s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	run := func(e bench.Experiment) error {
+		fmt.Printf("=== %s: %s ===\n", e.ID, e.Title)
+		if err := e.Run(os.Stdout); err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		fmt.Println()
+		return nil
+	}
+
+	if *exp == "all" {
+		for _, e := range bench.All() {
+			if err := run(e); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		return
+	}
+	e, ok := bench.Find(*exp)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *exp)
+		os.Exit(2)
+	}
+	if err := run(e); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,83 @@
+// Command waveinspect visualizes the wavelet decompositions behind the
+// fusion algorithm: the Fig. 1 subband layout of the 2-D DWT, per-subband
+// energies, and the orientation selectivity of the DT-CWT's six complex
+// subbands.
+//
+// Usage:
+//
+//	waveinspect -levels 3 -in image.pgm -mosaic mosaic.pgm
+//	waveinspect -levels 3            # synthetic scene input
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"zynqfusion/internal/camera"
+	"zynqfusion/internal/frame"
+	"zynqfusion/internal/signal"
+	"zynqfusion/internal/wavelet"
+)
+
+func main() {
+	levels := flag.Int("levels", 3, "decomposition levels")
+	in := flag.String("in", "", "input PGM (default: synthetic 88x72 scene)")
+	mosaic := flag.String("mosaic", "", "write the Fig. 1 subband mosaic PGM here")
+	flag.Parse()
+
+	var img *frame.Frame
+	if *in != "" {
+		f, err := frame.LoadPGM(*in)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		img = f
+	} else {
+		img = camera.NewScene(88, 72, 1).Visible()
+	}
+	if *levels < 1 || *levels > wavelet.MaxLevels(img.W, img.H) {
+		fmt.Fprintf(os.Stderr, "levels %d out of range (max %d for %dx%d)\n",
+			*levels, wavelet.MaxLevels(img.W, img.H), img.W, img.H)
+		os.Exit(2)
+	}
+
+	xf := wavelet.NewXfm(signal.RefKernel{})
+	banks := make([]*wavelet.Bank, *levels)
+	for i := range banks {
+		banks[i] = wavelet.CDF97
+	}
+	d, err := wavelet.Forward2D(xf, banks, banks, img, *levels)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("2-D DWT of %dx%d, %d levels (Fig. 1 layout)\n", img.W, img.H, *levels)
+	fmt.Printf("%-8s %-8s %12s %12s %12s\n", "level", "size", "HL energy", "LH energy", "HH energy")
+	for lv, b := range d.Levels {
+		fmt.Printf("%-8d %dx%-5d %12.2f %12.2f %12.2f\n", lv+1, b.HL.W, b.HL.H,
+			wavelet.BandEnergy(b.HL), wavelet.BandEnergy(b.LH), wavelet.BandEnergy(b.HH))
+	}
+	fmt.Printf("%-8s %dx%-5d %12.2f\n", "LL", d.LL.W, d.LL.H, wavelet.BandEnergy(d.LL))
+
+	if *mosaic != "" {
+		if err := d.Mosaic().SavePGM(*mosaic); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", *mosaic)
+	}
+
+	dt := wavelet.NewDTCWT(xf, wavelet.DefaultTreeBanks())
+	p, err := dt.Forward(img, *levels)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("\nDT-CWT oriented subband energies (level %d)\n", *levels)
+	for i, b := range p.Levels[*levels-1].Bands {
+		fmt.Printf("  %+4d deg: %12.2f\n", wavelet.Orientations[i], b.Energy())
+	}
+}

@@ -1,0 +1,24 @@
+// Package zynqfusion is a complete reproduction of "Energy Efficient Video
+// Fusion with Heterogeneous CPU-FPGA Devices" (Nunez-Yanez & Sun, DATE
+// 2016): a visible/infrared video fusion system built on the Dual-Tree
+// Complex Wavelet Transform, with three execution engines for the
+// transforms — the ARM core, the NEON SIMD engine and an FPGA wave engine
+// behind a kernel driver — and the run-time adaptive engine selection the
+// paper concludes is optimal.
+//
+// The hardware platform (ZYNQ ZC702) is modeled: kernels execute
+// functionally in Go while timing and energy follow a cycle-level model
+// calibrated to the paper's measurements. See DESIGN.md for the system
+// inventory and EXPERIMENTS.md for the paper-versus-measured record.
+//
+// Quick start:
+//
+//	fuser, err := zynqfusion.New(zynqfusion.Options{Engine: zynqfusion.EngineAdaptive})
+//	if err != nil { ... }
+//	fused, stats, err := fuser.Fuse(visibleFrame, thermalFrame)
+//
+// or run the full camera-to-display system:
+//
+//	sys, err := zynqfusion.NewSystem(zynqfusion.SystemConfig{W: 88, H: 72, Seed: 1})
+//	res, err := sys.Step()
+package zynqfusion

@@ -1,0 +1,151 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"zynqfusion/internal/engine"
+	"zynqfusion/internal/frame"
+	"zynqfusion/internal/fusion"
+	"zynqfusion/internal/hls"
+	"zynqfusion/internal/pipeline"
+	"zynqfusion/internal/signal"
+	"zynqfusion/internal/sim"
+	"zynqfusion/internal/wavelet"
+)
+
+// RunLevelsSweep varies the DT-CWT decomposition depth at the full frame
+// size ("in this test the decomposition level of the CT-DWT was varied",
+// section VII). Deeper levels shrink the per-level workload, pushing the
+// deep rows below the FPGA's profitability threshold — the mechanism
+// behind the paper's frame-size finding, visible here per level.
+func RunLevelsSweep(w io.Writer) error {
+	s := Size{88, 72}
+	vis, ir := SourcePair(s)
+	maxLv := wavelet.MaxLevels(s.W, s.H)
+	if maxLv > 5 {
+		maxLv = 5
+	}
+	fmt.Fprintf(w, "%-8s %12s %12s %12s %14s\n", "levels", "ARM(s)", "NEON(s)", "FPGA(s)", "adaptive(s)")
+	for lv := 1; lv <= maxLv; lv++ {
+		var row [4]sim.Time
+		for i, kind := range []EngineKind{KindARM, KindNEON, KindFPGA, KindAdaptive} {
+			e, err := NewEngine(kind)
+			if err != nil {
+				return err
+			}
+			fu := pipeline.New(e, pipeline.Config{Levels: lv, IncludeIO: true})
+			var acc pipeline.StageTimes
+			for f := 0; f < Frames; f++ {
+				_, st, err := fu.FuseFrames(vis, ir)
+				if err != nil {
+					return err
+				}
+				acc.Add(st)
+			}
+			row[i] = acc.Total
+		}
+		fmt.Fprintf(w, "%-8d %12.4f %12.4f %12.4f %14.4f\n", lv,
+			row[0].Seconds(), row[1].Seconds(), row[2].Seconds(), row[3].Seconds())
+	}
+	fmt.Fprintln(w, "deeper decompositions add small-row work where the FPGA's per-row")
+	fmt.Fprintln(w, "overhead dominates; the adaptive engine absorbs it by routing deep rows to NEON")
+	return nil
+}
+
+// RunAblationCmdQueue evaluates the future-work command-queue: amortizing
+// the driver round trip over N rows shifts the FPGA/NEON crossover toward
+// smaller frames.
+func RunAblationCmdQueue(w io.Writer) error {
+	sizes := []Size{{32, 24}, {35, 35}, {40, 40}, {88, 72}}
+	depths := []int{1, 2, 4, 8}
+	neonRef := make(map[Size]sim.Time)
+	for _, s := range sizes {
+		m, err := Measure(KindNEON, s)
+		if err != nil {
+			return err
+		}
+		neonRef[s] = m.Stages.Forward
+	}
+	fmt.Fprintf(w, "forward DT-CWT time, 10 frames (NEON reference in last column)\n")
+	fmt.Fprintf(w, "%-8s", "size")
+	for _, d := range depths {
+		fmt.Fprintf(w, " %11s", fmt.Sprintf("queue=%d", d))
+	}
+	fmt.Fprintf(w, " %11s\n", "NEON")
+	for _, s := range sizes {
+		fmt.Fprintf(w, "%-8s", s)
+		for _, d := range depths {
+			t, err := fpgaForwardWithQueue(s, d)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, " %10.4fs", t.Seconds())
+		}
+		fmt.Fprintf(w, " %10.4fs\n", neonRef[s].Seconds())
+	}
+	fmt.Fprintln(w, "a deeper command queue amortizes the ~8.4k-cycle driver round trip,")
+	fmt.Fprintln(w, "moving the small-frame break-even point toward 32x24")
+	return nil
+}
+
+// RunAblationFixedPoint compares the float32 wave engine against a Q16.16
+// fixed-point datapath: fabric cost collapses (DSP48 MACs replace
+// floating-point operators) while fusion output stays within a fraction
+// of a grey level of the float path.
+func RunAblationFixedPoint(w io.Writer) error {
+	vis, ir := SourcePair(Size{88, 72})
+	fuse := func(k signal.Kernel) (*frame.Frame, error) {
+		dt := wavelet.NewDTCWT(wavelet.NewXfm(k), wavelet.DefaultTreeBanks())
+		pa, err := dt.Forward(vis, 3)
+		if err != nil {
+			return nil, err
+		}
+		pb, err := dt.Forward(ir, 3)
+		if err != nil {
+			return nil, err
+		}
+		fp, err := fusion.Fuse(fusion.MaxMagnitude{}, pa, pb)
+		if err != nil {
+			return nil, err
+		}
+		return dt.Inverse(fp)
+	}
+	floatOut, err := fuse(signal.RefKernel{})
+	if err != nil {
+		return err
+	}
+	fixedOut, err := fuse(hls.FixedKernel{})
+	if err != nil {
+		return err
+	}
+	psnr, err := frame.PSNR(floatOut, fixedOut)
+	if err != nil {
+		return err
+	}
+	maxd, _ := frame.MaxAbsDiff(floatOut, fixedOut)
+	fl := hls.EstimateWaveEngine()
+	fx := hls.EstimateFixedPointEngine()
+	fmt.Fprintf(w, "fusion output, Q16.16 vs float32 datapath: PSNR %.1f dB, max diff %.4f grey levels\n", psnr, maxd)
+	fmt.Fprintf(w, "%-12s %10s %10s %10s\n", "datapath", "LUTs", "registers", "slices")
+	fmt.Fprintf(w, "%-12s %10d %10d %10d\n", "float32", fl.LUTs, fl.Registers, fl.Slices)
+	fmt.Fprintf(w, "%-12s %10d %10d %10d   (+%d DSP48)\n", "Q16.16", fx.LUTs, fx.Registers, fx.Slices, 24)
+	fmt.Fprintln(w, "a fixed-point engine would free most of the paper's 59% slice budget at")
+	fmt.Fprintln(w, "negligible quality cost — the main untaken design point of section V")
+	return nil
+}
+
+func fpgaForwardWithQueue(s Size, depth int) (sim.Time, error) {
+	e := engine.NewFPGAVariant(engine.FPGAVariant{DoubleBuffered: true, CmdQueueDepth: depth})
+	vis, ir := SourcePair(s)
+	fu := pipeline.New(e, pipeline.Config{IncludeIO: true})
+	var acc pipeline.StageTimes
+	for i := 0; i < Frames; i++ {
+		_, st, err := fu.FuseFrames(vis, ir)
+		if err != nil {
+			return 0, err
+		}
+		acc.Add(st)
+	}
+	return acc.Forward, nil
+}

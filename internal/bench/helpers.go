@@ -1,0 +1,53 @@
+package bench
+
+import (
+	"zynqfusion/internal/axi"
+	"zynqfusion/internal/engine"
+	"zynqfusion/internal/pipeline"
+	"zynqfusion/internal/sim"
+	"zynqfusion/internal/zynq"
+)
+
+// gpRowTransfer is the CPU time to move one row's words through the GP
+// port (in plus out), the paper's rejected baseline.
+func gpRowTransfer(words int) sim.Time {
+	return axi.GPTransfer(zynq.PS(), words)
+}
+
+// acpRowTransfer is the DMA time for the same row over the ACP.
+func acpRowTransfer(inWords, outWords int) sim.Time {
+	acp := axi.NewACP(zynq.PL())
+	return acp.Transfer(inWords) + acp.Transfer(outWords)
+}
+
+// measureFPGABus runs the 88x72 x 10-frame workload on the FPGA stack
+// with either GP-port copies or the DMA engine.
+func measureFPGABus(gpPort bool) (sim.Time, error) {
+	return measureFPGAVariant(engine.FPGAVariant{GPPort: gpPort, DoubleBuffered: true})
+}
+
+// measureFPGABuffering runs the same workload double- or single-buffered.
+func measureFPGABuffering(double bool) (sim.Time, error) {
+	return measureFPGAVariant(engine.FPGAVariant{DoubleBuffered: double})
+}
+
+// pipelineNew builds a pipeline at a given decomposition depth (test
+// helper shared with the levels sweep).
+func pipelineNew(e engine.Engine, levels int) *pipeline.Fuser {
+	return pipeline.New(e, pipeline.Config{Levels: levels, IncludeIO: true})
+}
+
+func measureFPGAVariant(v engine.FPGAVariant) (sim.Time, error) {
+	e := engine.NewFPGAVariant(v)
+	vis, ir := SourcePair(Size{88, 72})
+	fu := pipeline.New(e, pipeline.Config{IncludeIO: true})
+	var acc pipeline.StageTimes
+	for i := 0; i < Frames; i++ {
+		_, st, err := fu.FuseFrames(vis, ir)
+		if err != nil {
+			return 0, err
+		}
+		acc.Add(st)
+	}
+	return acc.Total, nil
+}

@@ -1,0 +1,166 @@
+package bt656
+
+import (
+	"zynqfusion/internal/frame"
+)
+
+// DecoderStats counts decoder events, mirroring the status outputs of the
+// BT656_Decoder block in Fig. 7 (Active/HBlank/VBlank/Error).
+type DecoderStats struct {
+	Frames           int64 // complete fields emitted
+	Lines            int64 // active lines accepted
+	ProtectionErrors int64 // XY words failing the P3..P0 check
+	LengthErrors     int64 // active lines with unexpected sample counts
+	Resyncs          int64 // preamble matches that interrupted collection
+}
+
+// Decoder is the BT.656 stream decoder state machine. Feed bytes with
+// Write; collect decoded luma fields with NextFrame. The zero value is not
+// usable; call NewDecoder with the expected active width.
+type Decoder struct {
+	width int
+	Stats DecoderStats
+
+	pstate   int  // preamble match progress (0..3)
+	active   bool // currently collecting an active line
+	fieldBit bool
+	haveF    bool
+
+	line      []byte
+	lines     [][]byte
+	completed []*frame.Frame
+}
+
+// NewDecoder returns a decoder expecting the given active width in pixels.
+func NewDecoder(width int) *Decoder {
+	return &Decoder{width: width}
+}
+
+// Write consumes a chunk of the byte stream. It never fails; stream errors
+// are counted in Stats. It implements io.Writer so camera models can pipe
+// into it.
+func (d *Decoder) Write(p []byte) (int, error) {
+	for _, b := range p {
+		d.step(b)
+	}
+	return len(p), nil
+}
+
+func (d *Decoder) step(b byte) {
+	// Timing-reference preamble tracking runs even inside active video:
+	// 0xFF cannot occur in payload, so a preamble always means control.
+	// An EAV preamble while collecting is the normal line terminator; the
+	// following XY word closes the line.
+	switch {
+	case b == preamble1:
+		d.pstate = 1
+		return
+	case d.pstate == 1 && b == preamble2:
+		d.pstate = 2
+		return
+	case d.pstate == 2 && b == preamble3:
+		d.pstate = 3
+		return
+	case d.pstate == 3:
+		d.pstate = 0
+		d.handleXY(b)
+		return
+	}
+	d.pstate = 0
+	if d.active {
+		d.line = append(d.line, b)
+	}
+}
+
+func (d *Decoder) handleXY(b byte) {
+	f, v, h, ok := DecodeXY(b)
+	if !ok {
+		d.Stats.ProtectionErrors++
+		d.dropLine()
+		return
+	}
+	if h {
+		// EAV terminates the active line that preceded it (the EAV of
+		// line n+1 closes line n's samples).
+		d.endLine()
+	}
+	if d.haveF && f != d.fieldBit {
+		// Field flip: everything collected belongs to the previous field.
+		d.finishField()
+	}
+	d.fieldBit, d.haveF = f, true
+
+	if h {
+		if v && len(d.lines) > 0 {
+			// Vertical blanking after active lines: field complete.
+			d.finishField()
+		}
+		return
+	}
+	// SAV: start collecting when not in vertical blanking. A SAV while a
+	// line is still open means the closing EAV was lost.
+	if !v {
+		if d.active {
+			d.Stats.Resyncs++
+		}
+		d.active = true
+		d.line = d.line[:0]
+	}
+}
+
+func (d *Decoder) endLine() {
+	if !d.active {
+		return
+	}
+	d.active = false
+	if len(d.line) != 2*d.width {
+		if len(d.line) > 0 {
+			d.Stats.LengthErrors++
+		}
+		return
+	}
+	y := make([]byte, d.width)
+	for i := 0; i < d.width; i++ {
+		y[i] = d.line[2*i+1] // Cb Y Cr Y multiplex: luma at odd offsets
+	}
+	d.lines = append(d.lines, y)
+	d.Stats.Lines++
+}
+
+func (d *Decoder) dropLine() {
+	d.active = false
+	d.line = d.line[:0]
+}
+
+func (d *Decoder) finishField() {
+	if len(d.lines) == 0 {
+		return
+	}
+	f := frame.New(d.width, len(d.lines))
+	for r, y := range d.lines {
+		row := f.Row(r)
+		for i, v := range y {
+			row[i] = float32(v)
+		}
+	}
+	d.lines = d.lines[:0]
+	d.completed = append(d.completed, f)
+	d.Stats.Frames++
+}
+
+// Flush emits any partially collected field (end of stream).
+func (d *Decoder) Flush() {
+	d.endLine()
+	d.finishField()
+}
+
+// NextFrame pops the oldest decoded field, reporting false when none is
+// pending.
+func (d *Decoder) NextFrame() (*frame.Frame, bool) {
+	if len(d.completed) == 0 {
+		return nil, false
+	}
+	f := d.completed[0]
+	d.completed = d.completed[1:]
+	return f, true
+}

@@ -1,0 +1,80 @@
+package bt656
+
+import (
+	"fmt"
+
+	"zynqfusion/internal/frame"
+)
+
+// Encoder serializes luma frames into a BT.656 byte stream, standing in
+// for the thermal camera head (the Thermoteknix module emits monochrome
+// video, so chroma is neutral).
+type Encoder struct {
+	// BlankingLines is the count of vertical blanking lines emitted before
+	// the active field (default 20, NTSC-like).
+	BlankingLines int
+	// Field alternates when interlaced output is enabled.
+	Interlaced bool
+	field      bool
+}
+
+// Encode appends the BT.656 serialization of one field carrying f to dst
+// and returns it. Luma is clamped to [1, 254] because 0x00 and 0xFF are
+// reserved for timing reference codes.
+func (e *Encoder) Encode(dst []byte, f *frame.Frame) []byte {
+	blanking := e.BlankingLines
+	if blanking == 0 {
+		blanking = 20
+	}
+	field := e.field
+	if e.Interlaced {
+		e.field = !e.field
+	}
+	lineWords := f.W * 2
+
+	appendLine := func(dst []byte, v bool, y []float32) []byte {
+		// EAV of the previous line, blanking gap, then SAV + payload.
+		dst = append(dst, preamble1, preamble2, preamble3, XY(field, v, true))
+		for i := 0; i < 8; i++ {
+			dst = append(dst, blankChroma, blankLuma)
+		}
+		dst = append(dst, preamble1, preamble2, preamble3, XY(field, v, false))
+		if y == nil {
+			for i := 0; i < lineWords/2; i++ {
+				dst = append(dst, blankChroma, blankLuma)
+			}
+			return dst
+		}
+		for _, s := range y {
+			dst = append(dst, blankChroma, clampLuma(s))
+		}
+		return dst
+	}
+
+	for i := 0; i < blanking; i++ {
+		dst = appendLine(dst, true, nil)
+	}
+	for r := 0; r < f.H; r++ {
+		dst = appendLine(dst, false, f.Row(r))
+	}
+	return dst
+}
+
+func clampLuma(v float32) byte {
+	if v < 1 {
+		return 1
+	}
+	if v > 254 {
+		return 254
+	}
+	return byte(v + 0.5)
+}
+
+// CorruptBit flips one bit of the stream (test stimulus for the decoder's
+// protection-bit checking). It panics on an out-of-range position.
+func CorruptBit(stream []byte, byteIdx, bitIdx int) {
+	if byteIdx < 0 || byteIdx >= len(stream) || bitIdx < 0 || bitIdx > 7 {
+		panic(fmt.Sprintf("bt656.CorruptBit: position %d.%d out of range", byteIdx, bitIdx))
+	}
+	stream[byteIdx] ^= 1 << bitIdx
+}

@@ -1,0 +1,41 @@
+package bt656
+
+import "zynqfusion/internal/frame"
+
+// OutputFIFO is the frame handshake buffer of Fig. 7: "the AXI control
+// signals guarantee that a new frame will be stored in the output FIFO
+// only after the previous frame is taken by the wave engine hardware."
+// Push refuses new frames while one is pending; the camera side counts the
+// refusals as dropped frames.
+type OutputFIFO struct {
+	slot    *frame.Frame
+	Pushed  int64
+	Dropped int64
+	Popped  int64
+}
+
+// Push offers a frame; it returns false (and counts a drop) when the
+// previous frame has not been taken yet.
+func (f *OutputFIFO) Push(fr *frame.Frame) bool {
+	if f.slot != nil {
+		f.Dropped++
+		return false
+	}
+	f.slot = fr
+	f.Pushed++
+	return true
+}
+
+// Pop takes the pending frame, freeing the slot for the camera side.
+func (f *OutputFIFO) Pop() (*frame.Frame, bool) {
+	if f.slot == nil {
+		return nil, false
+	}
+	fr := f.slot
+	f.slot = nil
+	f.Popped++
+	return fr, true
+}
+
+// Full reports whether a frame is pending.
+func (f *OutputFIFO) Full() bool { return f.slot != nil }

@@ -1,0 +1,76 @@
+package bt656
+
+import (
+	"fmt"
+
+	"zynqfusion/internal/frame"
+)
+
+// Scaler is the Video_Scale block of Fig. 7, converting the camera's
+// native field geometry (720x243 per field for the thermal head) to the
+// display/processing geometry (640x480, 60 Hz).
+type Scaler struct {
+	OutW, OutH int
+	// Bilinear selects bilinear interpolation; false gives the cheaper
+	// nearest-neighbor hardware.
+	Bilinear bool
+}
+
+// Scale resamples src to the configured output geometry.
+func (s Scaler) Scale(src *frame.Frame) (*frame.Frame, error) {
+	if s.OutW <= 0 || s.OutH <= 0 {
+		return nil, fmt.Errorf("bt656.Scaler: bad output size %dx%d", s.OutW, s.OutH)
+	}
+	if src.W == 0 || src.H == 0 {
+		return nil, fmt.Errorf("bt656.Scaler: empty source")
+	}
+	dst := frame.New(s.OutW, s.OutH)
+	sx := float64(src.W) / float64(s.OutW)
+	sy := float64(src.H) / float64(s.OutH)
+	for y := 0; y < s.OutH; y++ {
+		fy := (float64(y)+0.5)*sy - 0.5
+		for x := 0; x < s.OutW; x++ {
+			fx := (float64(x)+0.5)*sx - 0.5
+			if s.Bilinear {
+				dst.Set(x, y, bilinear(src, fx, fy))
+			} else {
+				dst.Set(x, y, nearest(src, fx, fy))
+			}
+		}
+	}
+	return dst, nil
+}
+
+func nearest(src *frame.Frame, fx, fy float64) float32 {
+	x := clampInt(int(fx+0.5), 0, src.W-1)
+	y := clampInt(int(fy+0.5), 0, src.H-1)
+	return src.At(x, y)
+}
+
+func bilinear(src *frame.Frame, fx, fy float64) float32 {
+	x0 := clampInt(int(fx), 0, src.W-1)
+	y0 := clampInt(int(fy), 0, src.H-1)
+	x1 := clampInt(x0+1, 0, src.W-1)
+	y1 := clampInt(y0+1, 0, src.H-1)
+	ax := float32(fx - float64(x0))
+	ay := float32(fy - float64(y0))
+	if ax < 0 {
+		ax = 0
+	}
+	if ay < 0 {
+		ay = 0
+	}
+	top := src.At(x0, y0)*(1-ax) + src.At(x1, y0)*ax
+	bot := src.At(x0, y1)*(1-ax) + src.At(x1, y1)*ax
+	return top*(1-ay) + bot*ay
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,122 @@
+package camera
+
+import (
+	"fmt"
+
+	"zynqfusion/internal/bt656"
+	"zynqfusion/internal/frame"
+)
+
+// Webcam models the USB visible-band camera (Logitech C160 class): it
+// captures RGB frames that the PS converts to greyscale before fusion, as
+// the paper does ("the original video captured by the web-camera was
+// gray-scaled before fusing").
+type Webcam struct {
+	scene *Scene
+	// Frames counts captures.
+	Frames int64
+}
+
+// NewWebcam attaches a webcam to a scene.
+func NewWebcam(s *Scene) *Webcam { return &Webcam{scene: s} }
+
+// Capture returns the current greyscale frame. The RGB sensor mosaic and
+// USB decode are folded into the scene's visible rendering plus the
+// standard luma conversion.
+func (w *Webcam) Capture() *frame.Frame {
+	w.Frames++
+	vis := w.scene.Visible()
+	// Round-trip through interleaved RGB, as the USB path delivers it.
+	rgb := make([]byte, vis.W*vis.H*3)
+	for i, v := range vis.Pix {
+		b := clampByte(v)
+		rgb[3*i], rgb[3*i+1], rgb[3*i+2] = b, b, b
+	}
+	g, err := frame.GrayFromRGB(vis.W, vis.H, rgb)
+	if err != nil {
+		panic("camera: internal RGB conversion: " + err.Error())
+	}
+	return g
+}
+
+func clampByte(v float32) byte {
+	if v < 0 {
+		return 0
+	}
+	if v > 255 {
+		return 255
+	}
+	return byte(v)
+}
+
+// Thermal models the Thermoteknix MicroCAM-class infrared camera. Its
+// output travels the full PL capture path of Fig. 7: BT.656 serialization,
+// the decoder state machine, the video scaler and the frame-handshake
+// output FIFO.
+type Thermal struct {
+	scene  *Scene
+	native struct{ w, h int }
+	enc    bt656.Encoder
+	dec    *bt656.Decoder
+	scaler bt656.Scaler
+	fifo   bt656.OutputFIFO
+	stream []byte
+
+	// TargetW and TargetH are the fusion geometry (the paper fuses 88x72
+	// because the longwave sensor resolution is the limit).
+	TargetW, TargetH int
+}
+
+// NewThermal attaches a thermal camera to a scene. The camera renders at
+// its native geometry, serializes over BT.656, decodes and scales on the
+// modeled PL, and finally delivers frames at the target fusion geometry.
+func NewThermal(s *Scene, targetW, targetH int) (*Thermal, error) {
+	if targetW <= 0 || targetH <= 0 {
+		return nil, fmt.Errorf("camera: bad target %dx%d", targetW, targetH)
+	}
+	t := &Thermal{scene: s, TargetW: targetW, TargetH: targetH}
+	// Native field geometry of the BT.656 head (720 samples per line,
+	// 243 active lines per field).
+	t.native.w, t.native.h = 720, 243
+	t.dec = bt656.NewDecoder(t.native.w)
+	t.scaler = bt656.Scaler{OutW: targetW, OutH: targetH, Bilinear: true}
+	return t, nil
+}
+
+// Stats exposes the decoder statistics (Fig. 7 status signals).
+func (t *Thermal) Stats() bt656.DecoderStats { return t.dec.Stats }
+
+// FIFO exposes the output FIFO counters.
+func (t *Thermal) FIFO() *bt656.OutputFIFO { return &t.fifo }
+
+// Capture renders the scene at the sensor, pushes it through the BT.656
+// path and returns the scaled frame. It fails only if the handshake FIFO
+// still holds an unconsumed frame.
+func (t *Thermal) Capture() (*frame.Frame, error) {
+	// Render at the native field geometry: the scene is observed at the
+	// sensor's own resolution before serialization.
+	ir := t.scene.Thermal()
+	up := bt656.Scaler{OutW: t.native.w, OutH: t.native.h, Bilinear: true}
+	field, err := up.Scale(ir)
+	if err != nil {
+		return nil, err
+	}
+	t.stream = t.enc.Encode(t.stream[:0], field)
+	if _, err := t.dec.Write(t.stream); err != nil {
+		return nil, err
+	}
+	t.dec.Flush()
+	raw, ok := t.dec.NextFrame()
+	if !ok {
+		return nil, fmt.Errorf("camera: BT.656 decode produced no field")
+	}
+	scaled, err := t.scaler.Scale(raw)
+	if err != nil {
+		return nil, err
+	}
+	if !t.fifo.Push(scaled) {
+		return nil, fmt.Errorf("camera: output FIFO full (previous frame not taken)")
+	}
+	out, _ := t.fifo.Pop()
+	return out, nil
+}

@@ -1,0 +1,137 @@
+package camera
+
+import (
+	"testing"
+
+	"zynqfusion/internal/frame"
+)
+
+func TestSceneDeterministicBySeed(t *testing.T) {
+	a := NewScene(88, 72, 7)
+	b := NewScene(88, 72, 7)
+	for i := 0; i < 3; i++ {
+		a.Advance()
+		b.Advance()
+	}
+	d, err := frame.MaxAbsDiff(a.Visible(), b.Visible())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 0 {
+		t.Errorf("same seed diverged (visible): %g", d)
+	}
+	d, _ = frame.MaxAbsDiff(a.Thermal(), b.Thermal())
+	if d != 0 {
+		t.Errorf("same seed diverged (thermal): %g", d)
+	}
+	c := NewScene(88, 72, 8)
+	d, _ = frame.MaxAbsDiff(a.Visible(), c.Visible())
+	if d == 0 {
+		t.Error("different seeds produced identical scenes")
+	}
+}
+
+func TestSceneHasComplementaryContent(t *testing.T) {
+	s := NewScene(88, 72, 11)
+	vis := s.Visible()
+	ir := s.Thermal()
+	// Visible band: textured (high variance); thermal: mostly flat
+	// background with hotspots, so its median is low but max is high.
+	if vis.Variance() < 100 {
+		t.Errorf("visible band lacks texture: variance %g", vis.Variance())
+	}
+	lo, hi := ir.MinMax()
+	if float64(hi) < 120 {
+		t.Errorf("thermal band lacks hotspots: max %g", hi)
+	}
+	if float64(lo) > 60 {
+		t.Errorf("thermal background too bright: min %g", lo)
+	}
+}
+
+func TestSceneAdvanceMovesHotspots(t *testing.T) {
+	s := NewScene(64, 48, 3)
+	before := s.Thermal()
+	for i := 0; i < 10; i++ {
+		s.Advance()
+	}
+	after := s.Thermal()
+	d, _ := frame.MaxAbsDiff(before, after)
+	if d < 10 {
+		t.Errorf("scene static after 10 frames: max change %g", d)
+	}
+}
+
+func TestWebcamCaptureGeometryAndRange(t *testing.T) {
+	s := NewScene(88, 72, 5)
+	w := NewWebcam(s)
+	f := w.Capture()
+	if f.W != 88 || f.H != 72 {
+		t.Fatalf("capture %dx%d", f.W, f.H)
+	}
+	lo, hi := f.MinMax()
+	if lo < 0 || hi > 255 {
+		t.Errorf("greyscale out of range [%g, %g]", lo, hi)
+	}
+	if w.Frames != 1 {
+		t.Errorf("frame counter %d", w.Frames)
+	}
+}
+
+func TestThermalCaptureTravelsBT656Path(t *testing.T) {
+	s := NewScene(88, 72, 9)
+	cam, err := NewThermal(s, 88, 72)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := cam.Capture()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.W != 88 || f.H != 72 {
+		t.Fatalf("capture %dx%d", f.W, f.H)
+	}
+	st := cam.Stats()
+	if st.Frames != 1 || st.Lines == 0 {
+		t.Errorf("decoder stats %+v", st)
+	}
+	if st.ProtectionErrors != 0 || st.LengthErrors != 0 {
+		t.Errorf("clean path reported errors: %+v", st)
+	}
+	if cam.FIFO().Pushed != 1 || cam.FIFO().Popped != 1 {
+		t.Errorf("FIFO counters %+v", *cam.FIFO())
+	}
+	// The hotspots must survive serialization and scaling.
+	if _, hi := f.MinMax(); float64(hi) < 100 {
+		t.Errorf("hotspots lost in the capture path: max %g", hi)
+	}
+}
+
+func TestThermalCaptureSequence(t *testing.T) {
+	s := NewScene(64, 48, 13)
+	cam, err := NewThermal(s, 64, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev *frame.Frame
+	for i := 0; i < 5; i++ {
+		f, err := cam.Capture()
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if prev != nil {
+			s.Advance()
+		}
+		prev = f
+	}
+	if cam.Stats().Frames != 5 {
+		t.Errorf("decoded %d fields, want 5", cam.Stats().Frames)
+	}
+}
+
+func TestNewThermalValidatesTarget(t *testing.T) {
+	s := NewScene(32, 24, 1)
+	if _, err := NewThermal(s, 0, 10); err == nil {
+		t.Error("zero target width should fail")
+	}
+}

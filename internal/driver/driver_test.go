@@ -1,0 +1,230 @@
+package driver
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"zynqfusion/internal/axi"
+	"zynqfusion/internal/hls"
+	"zynqfusion/internal/signal"
+	"zynqfusion/internal/wavelet"
+	"zynqfusion/internal/zynq"
+)
+
+func testConfig(double bool) Config {
+	return Config{
+		PS:                    zynq.PS(),
+		UserCopyCyclesPerWord: 1.5,
+		SyscallCycles:         3000,
+		StatusPolls:           2,
+		DoubleBuffered:        double,
+	}
+}
+
+func openDevice(t *testing.T, double bool) *Device {
+	t.Helper()
+	pl := zynq.PL()
+	eng := hls.New(zynq.PS(), pl, axi.NewACP(pl))
+	b := wavelet.CDF97
+	eng.LoadCoeffs(&b.AL, &b.AH, &b.SL, &b.SH)
+	d, err := Open(eng, testConfig(double))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func randRow(rng *rand.Rand, n int) []float32 {
+	s := make([]float32, n)
+	for i := range s {
+		s[i] = float32(rng.Float64()*200 - 100)
+	}
+	return s
+}
+
+func TestForwardRowMatchesReference(t *testing.T) {
+	d := openDevice(t, true)
+	rng := rand.New(rand.NewSource(51))
+	b := wavelet.CDF97
+	for _, m := range []int{4, 11, 44} {
+		px := randRow(rng, 2*m+signal.TapCount)
+		lo := make([]float32, m)
+		hi := make([]float32, m)
+		if err := d.ForwardRow(px, lo, hi); err != nil {
+			t.Fatal(err)
+		}
+		wantLo := make([]float32, m)
+		wantHi := make([]float32, m)
+		signal.AnalyzeRef(&b.AL, &b.AH, px, wantLo, wantHi)
+		for i := range lo {
+			if lo[i] != wantLo[i] || hi[i] != wantHi[i] {
+				t.Fatalf("m=%d i=%d: (%g,%g) want (%g,%g)", m, i, lo[i], hi[i], wantLo[i], wantHi[i])
+			}
+		}
+	}
+}
+
+func TestInverseRowMatchesReference(t *testing.T) {
+	d := openDevice(t, true)
+	rng := rand.New(rand.NewSource(52))
+	b := wavelet.CDF97
+	m := 16
+	plo := randRow(rng, m+signal.SynthesisPad)
+	phi := randRow(rng, m+signal.SynthesisPad)
+	out := make([]float32, 2*m)
+	if err := d.InverseRow(plo, phi, out); err != nil {
+		t.Fatal(err)
+	}
+	want := make([]float32, 2*m)
+	signal.SynthesizeRef(&b.SL, &b.SH, plo, phi, want)
+	for i := range out {
+		if out[i] != want[i] {
+			t.Fatalf("i=%d: %g want %g", i, out[i], want[i])
+		}
+	}
+}
+
+func TestDoubleBufferingBeatsSingle(t *testing.T) {
+	// The Fig. 5 motivation: with two areas, user copies overlap hardware
+	// processing, so a batch of rows finishes sooner than the sequential
+	// single-buffer schedule.
+	rng := rand.New(rand.NewSource(53))
+	run := func(double bool) (makespan int64) {
+		d := openDevice(t, double)
+		m := 64
+		for k := 0; k < 32; k++ {
+			px := randRow(rng, 2*m+signal.TapCount)
+			if err := d.ForwardRow(px, make([]float32, m), make([]float32, m)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return int64(d.Elapsed())
+	}
+	double := run(true)
+	single := run(false)
+	if double >= single {
+		t.Errorf("double-buffered %d >= single-buffered %d", double, single)
+	}
+	// The win should be material, not rounding noise.
+	if float64(single-double)/float64(single) < 0.05 {
+		t.Errorf("double buffering saves only %.2f%%", 100*float64(single-double)/float64(single))
+	}
+}
+
+func TestElapsedIncludesDrain(t *testing.T) {
+	d := openDevice(t, true)
+	m := 32
+	px := randRow(rand.New(rand.NewSource(54)), 2*m+signal.TapCount)
+	if err := d.ForwardRow(px, make([]float32, m), make([]float32, m)); err != nil {
+		t.Fatal(err)
+	}
+	e1 := d.Elapsed()
+	if e1 <= 0 {
+		t.Fatal("elapsed should be positive")
+	}
+	// Elapsed must cover CPU busy and HW busy (they partially overlap, so
+	// the makespan is at least the max of the two).
+	if e1 < d.CPUBusy || e1 < d.HWBusy {
+		t.Errorf("makespan %v below busy times cpu=%v hw=%v", e1, d.CPUBusy, d.HWBusy)
+	}
+	if got := d.Reset(); got != e1 {
+		t.Errorf("Reset returned %v, want %v", got, e1)
+	}
+	if d.Elapsed() != 0 {
+		t.Error("timeline should be clear after Reset")
+	}
+}
+
+func TestMmapAliasesKernelBuffer(t *testing.T) {
+	d := openDevice(t, true)
+	in, out := d.Mmap()
+	if len(in) != 2*hls.BRAMArea || len(out) != 2*hls.BRAMArea {
+		t.Fatalf("mmap sizes %d/%d", len(in), len(out))
+	}
+	in[0] = 42
+	in2, _ := d.Mmap()
+	if in2[0] != 42 {
+		t.Error("mmap views must alias the same kernel memory")
+	}
+}
+
+func TestIoctlValidation(t *testing.T) {
+	d := openDevice(t, true)
+	if err := d.Ioctl(SetReadOffset, 100); err != nil {
+		t.Errorf("valid offset: %v", err)
+	}
+	if err := d.Ioctl(SetWriteOffset, -1); !errors.Is(err, ErrBadOffset) {
+		t.Errorf("negative offset: %v", err)
+	}
+	if err := d.Ioctl(SetReadOffset, 2*hls.BRAMArea); !errors.Is(err, ErrBadOffset) {
+		t.Errorf("out-of-range offset: %v", err)
+	}
+	if err := d.Ioctl(IoctlReq(99), 0); err == nil {
+		t.Error("unknown ioctl should fail")
+	}
+}
+
+func TestClosedDeviceRejectsWork(t *testing.T) {
+	d := openDevice(t, true)
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); !errors.Is(err, ErrClosed) {
+		t.Errorf("double close: %v", err)
+	}
+	m := 8
+	err := d.ForwardRow(make([]float32, 2*m+signal.TapCount), make([]float32, m), make([]float32, m))
+	if !errors.Is(err, ErrClosed) {
+		t.Errorf("work on closed device: %v", err)
+	}
+	if err := d.Ioctl(SetReadOffset, 0); !errors.Is(err, ErrClosed) {
+		t.Errorf("ioctl on closed device: %v", err)
+	}
+}
+
+func TestRowTooWideRejected(t *testing.T) {
+	d := openDevice(t, true)
+	m := hls.BRAMArea // output of 2m words cannot fit an area
+	err := d.ForwardRow(make([]float32, 2*m+signal.TapCount), make([]float32, m), make([]float32, m))
+	if !errors.Is(err, ErrRowSize) {
+		t.Errorf("oversized row: %v", err)
+	}
+}
+
+func TestOpenValidatesConfig(t *testing.T) {
+	pl := zynq.PL()
+	eng := hls.New(zynq.PS(), pl, axi.NewACP(pl))
+	if _, err := Open(nil, testConfig(true)); err == nil {
+		t.Error("nil engine should fail")
+	}
+	bad := testConfig(true)
+	bad.UserCopyCyclesPerWord = 0
+	if _, err := Open(eng, bad); err == nil {
+		t.Error("zero copy cost should fail")
+	}
+}
+
+func TestMakespanScalesWithRows(t *testing.T) {
+	// Twice the rows must land within [1x, 2x+slack] of the single-batch
+	// time and be strictly larger — a sanity property of the timeline.
+	rng := rand.New(rand.NewSource(55))
+	run := func(rows int) int64 {
+		d := openDevice(t, true)
+		m := 44
+		for k := 0; k < rows; k++ {
+			px := randRow(rng, 2*m+signal.TapCount)
+			if err := d.ForwardRow(px, make([]float32, m), make([]float32, m)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return int64(d.Elapsed())
+	}
+	t8, t16 := run(8), run(16)
+	if t16 <= t8 {
+		t.Errorf("16 rows (%d) not slower than 8 rows (%d)", t16, t8)
+	}
+	if t16 > 2*t8+t8/4 {
+		t.Errorf("16 rows (%d) superlinear vs 8 rows (%d)", t16, t8)
+	}
+}

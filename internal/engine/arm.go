@@ -1,0 +1,56 @@
+package engine
+
+import (
+	"zynqfusion/internal/power"
+	"zynqfusion/internal/signal"
+	"zynqfusion/internal/sim"
+	"zynqfusion/internal/zynq"
+)
+
+// ARM is the scalar software engine: the baseline configuration where the
+// Cortex-A9 executes the filter kernels itself.
+type ARM struct {
+	ps     sim.Clock
+	cycles float64
+}
+
+// NewARM returns a scalar engine on the PS clock.
+func NewARM() *ARM {
+	return &ARM{ps: zynq.PS()}
+}
+
+// Name implements Engine.
+func (a *ARM) Name() string { return "arm" }
+
+// Analyze implements signal.Kernel with scalar loops.
+func (a *ARM) Analyze(al, ah *signal.Taps, px []float32, lo, hi []float32) {
+	signal.AnalyzeRef(al, ah, px, lo, hi)
+	a.cycles += ARMRowOverheadCycles + ARMFwdPairCycles*float64(len(lo))
+}
+
+// Synthesize implements signal.Kernel with scalar loops.
+func (a *ARM) Synthesize(sl, sh *signal.Taps, plo, phi []float32, out []float32) {
+	signal.SynthesizeRef(sl, sh, plo, phi, out)
+	a.cycles += ARMRowOverheadCycles + ARMInvPairCycles*float64(len(out)/2)
+}
+
+// ChargeCPU implements Engine.
+func (a *ARM) ChargeCPU(samples int) {
+	a.cycles += StructureCyclesPerSample * float64(samples)
+}
+
+// ChargeCPUCycles implements Engine.
+func (a *ARM) ChargeCPUCycles(cycles float64) { a.cycles += cycles }
+
+// Elapsed implements Engine.
+func (a *ARM) Elapsed() sim.Time { return a.ps.CyclesF(a.cycles) }
+
+// Reset implements Engine.
+func (a *ARM) Reset() sim.Time {
+	t := a.Elapsed()
+	a.cycles = 0
+	return t
+}
+
+// Power implements Engine.
+func (a *ARM) Power() sim.Watts { return power.ARMActive }

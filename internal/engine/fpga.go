@@ -1,0 +1,150 @@
+package engine
+
+import (
+	"fmt"
+
+	"zynqfusion/internal/axi"
+	"zynqfusion/internal/driver"
+	"zynqfusion/internal/hls"
+	"zynqfusion/internal/power"
+	"zynqfusion/internal/signal"
+	"zynqfusion/internal/sim"
+	"zynqfusion/internal/zynq"
+)
+
+// FPGA is the hardware engine: kernel rows run on the modeled HLS wave
+// engine behind the kernel driver, with the Fig. 5 double-buffered
+// schedule. Filter coefficients are reloaded over AXI4-Lite whenever the
+// wavelet layer switches banks (tree or level changes), and that reload
+// time is charged.
+type FPGA struct {
+	ps  sim.Clock
+	dev *driver.Device
+	eng *hls.WaveEngine
+
+	loaded    bool
+	curAL     signal.Taps
+	curAH     signal.Taps
+	curSL     signal.Taps
+	curSH     signal.Taps
+	haveSynth bool
+}
+
+// NewFPGA builds the full accelerator stack: ACP burst path, wave engine,
+// and driver with the calibrated host-side costs.
+func NewFPGA() *FPGA {
+	return NewFPGAVariant(FPGAVariant{DoubleBuffered: true})
+}
+
+// FPGAVariant selects design alternatives for ablation studies.
+type FPGAVariant struct {
+	// GPPort replaces the DMA engine with CPU word transfers through the
+	// general-purpose port (~25 cycles per 32-bit word, the baseline the
+	// paper rejects in section V).
+	GPPort bool
+	// DoubleBuffered selects the Fig. 5 two-area schedule; false is the
+	// sequential single-buffer baseline.
+	DoubleBuffered bool
+	// CmdQueueDepth > 1 enables the future-work command queue that
+	// amortizes the driver round trip over that many rows.
+	CmdQueueDepth int
+}
+
+// NewFPGAVariant builds an accelerator stack with the given design
+// alternatives.
+func NewFPGAVariant(v FPGAVariant) *FPGA {
+	ps, pl := zynq.PS(), zynq.PL()
+	eng := hls.New(ps, pl, axi.NewACP(pl))
+	copyCost := float64(UserCopyCyclesPerWord)
+	if v.GPPort {
+		copyCost = axi.GPWordCycles
+	}
+	dev, err := driver.Open(eng, driver.Config{
+		PS:                    ps,
+		UserCopyCyclesPerWord: copyCost,
+		SyscallCycles:         SyscallCycles,
+		StatusPolls:           StatusPolls,
+		DoubleBuffered:        v.DoubleBuffered,
+		CmdQueueDepth:         v.CmdQueueDepth,
+	})
+	if err != nil {
+		panic("engine: driver open failed: " + err.Error())
+	}
+	return &FPGA{ps: ps, dev: dev, eng: eng}
+}
+
+// Name implements Engine.
+func (f *FPGA) Name() string { return "fpga" }
+
+// Device exposes the driver handle for inspection (tests, statistics).
+func (f *FPGA) Device() *driver.Device { return f.dev }
+
+// WaveEngine exposes the hardware model for inspection.
+func (f *FPGA) WaveEngine() *hls.WaveEngine { return f.eng }
+
+// ensureCoeffs reloads the engine register file if the requested filters
+// are not resident, charging the AXI4-Lite transfer time.
+func (f *FPGA) ensureCoeffs(al, ah, sl, sh *signal.Taps) {
+	if f.loaded && f.curAL == *al && f.curAH == *ah &&
+		(sl == nil || (f.haveSynth && f.curSL == *sl && f.curSH == *sh)) {
+		return
+	}
+	if sl == nil {
+		sl, sh = &f.curSL, &f.curSH
+	}
+	t := f.eng.LoadCoeffs(al, ah, sl, sh)
+	f.dev.ChargeHost(t)
+	f.curAL, f.curAH, f.curSL, f.curSH = *al, *ah, *sl, *sh
+	f.loaded = true
+	f.haveSynth = true
+}
+
+// Analyze implements signal.Kernel via the accelerator.
+func (f *FPGA) Analyze(al, ah *signal.Taps, px []float32, lo, hi []float32) {
+	f.ensureCoeffs(al, ah, nil, nil)
+	if err := f.dev.ForwardRow(px, lo, hi); err != nil {
+		panic(fmt.Sprintf("engine: FPGA forward row: %v", err))
+	}
+}
+
+// Synthesize implements signal.Kernel via the accelerator.
+func (f *FPGA) Synthesize(sl, sh *signal.Taps, plo, phi []float32, out []float32) {
+	// Synthesis banks are keyed alongside the analysis pair; reload if the
+	// requested synthesis filters are not resident.
+	if !(f.loaded && f.haveSynth && f.curSL == *sl && f.curSH == *sh) {
+		t := f.eng.LoadCoeffs(&f.curAL, &f.curAH, sl, sh)
+		f.dev.ChargeHost(t)
+		f.curSL, f.curSH = *sl, *sh
+		f.loaded = true
+		f.haveSynth = true
+	}
+	f.dev.ChargeHost(f.ps.Cycles(InverseExtraSyscallCycles))
+	if err := f.dev.InverseRow(plo, phi, out); err != nil {
+		panic(fmt.Sprintf("engine: FPGA inverse row: %v", err))
+	}
+}
+
+// ChargeCPU implements Engine: structure work serializes on the host
+// cursor of the driver timeline.
+func (f *FPGA) ChargeCPU(samples int) {
+	f.dev.ChargeHost(f.ps.CyclesF(StructureCyclesPerSample * float64(samples)))
+}
+
+// ChargeCPUCycles implements Engine.
+func (f *FPGA) ChargeCPUCycles(cycles float64) {
+	f.dev.ChargeHost(f.ps.CyclesF(cycles))
+}
+
+// Elapsed implements Engine: the drained timeline makespan.
+func (f *FPGA) Elapsed() sim.Time { return f.dev.Elapsed() }
+
+// Peek reports the makespan without draining the double-buffered
+// schedule, for per-row cost probes.
+func (f *FPGA) Peek() sim.Time { return f.dev.Peek() }
+
+// Reset implements Engine.
+func (f *FPGA) Reset() sim.Time { return f.dev.Reset() }
+
+// Power implements Engine: ARM+FPGA mode draws the extra wave-engine
+// power (+19.2 mW, +3.6%).
+func (f *FPGA) Power() sim.Watts { return power.FPGAActive }

@@ -1,0 +1,75 @@
+package engine
+
+import (
+	"zynqfusion/internal/neon"
+	"zynqfusion/internal/power"
+	"zynqfusion/internal/signal"
+	"zynqfusion/internal/sim"
+	"zynqfusion/internal/zynq"
+)
+
+// NEON is the SIMD engine: kernels execute on the emulated NEON unit
+// (lane-exact float32x4 arithmetic) and time follows the calibrated
+// per-pair rates plus the scalar-tail penalty.
+type NEON struct {
+	ps     sim.Clock
+	unit   *neon.Unit
+	kern   neon.Kernel
+	cycles float64
+}
+
+// NewNEON returns a NEON engine. manual selects hand-written intrinsics
+// (Fig. 3 left) over the auto-vectorized structure (Fig. 3 right); the two
+// perform alike, as the paper observes.
+func NewNEON(manual bool) *NEON {
+	u := &neon.Unit{}
+	return &NEON{ps: zynq.PS(), unit: u, kern: neon.Kernel{U: u, Manual: manual}}
+}
+
+// Name implements Engine.
+func (n *NEON) Name() string { return "neon" }
+
+// Unit exposes the instruction ledger for inspection.
+func (n *NEON) Unit() *neon.Unit { return n.unit }
+
+// Analyze implements signal.Kernel on the NEON unit.
+func (n *NEON) Analyze(al, ah *signal.Taps, px []float32, lo, hi []float32) {
+	before := n.unit.C.ScalarOps
+	n.kern.Analyze(al, ah, px, lo, hi)
+	tail := (n.unit.C.ScalarOps - before) / (2 * signal.TapCount) // pairs done in scalar
+	n.cycles += NEONRowOverheadCycles +
+		NEONFwdPairCycles*float64(len(lo)) +
+		NEONTailPairCycles*float64(tail)
+}
+
+// Synthesize implements signal.Kernel on the NEON unit.
+func (n *NEON) Synthesize(sl, sh *signal.Taps, plo, phi []float32, out []float32) {
+	before := n.unit.C.ScalarOps
+	n.kern.Synthesize(sl, sh, plo, phi, out)
+	tail := (n.unit.C.ScalarOps - before) / (2 * signal.TapCount)
+	n.cycles += NEONRowOverheadCycles +
+		NEONInvPairCycles*float64(len(out)/2) +
+		NEONTailPairCycles*float64(tail)
+}
+
+// ChargeCPU implements Engine.
+func (n *NEON) ChargeCPU(samples int) {
+	n.cycles += StructureCyclesPerSample * float64(samples)
+}
+
+// ChargeCPUCycles implements Engine.
+func (n *NEON) ChargeCPUCycles(cycles float64) { n.cycles += cycles }
+
+// Elapsed implements Engine.
+func (n *NEON) Elapsed() sim.Time { return n.ps.CyclesF(n.cycles) }
+
+// Reset implements Engine.
+func (n *NEON) Reset() sim.Time {
+	t := n.Elapsed()
+	n.cycles = 0
+	return t
+}
+
+// Power implements Engine. The paper measures ARM+NEON board power
+// indistinguishable from ARM-only.
+func (n *NEON) Power() sim.Watts { return power.NEONActive }

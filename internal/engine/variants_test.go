@@ -1,0 +1,110 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+
+	"zynqfusion/internal/signal"
+	"zynqfusion/internal/wavelet"
+)
+
+func fpgaRowCost(t *testing.T, v FPGAVariant, rows, m int) int64 {
+	t.Helper()
+	f := NewFPGAVariant(v)
+	rng := rand.New(rand.NewSource(71))
+	b := wavelet.CDF97
+	for k := 0; k < rows; k++ {
+		px := randSlice(rng, 2*m+signal.TapCount)
+		f.Analyze(&b.AL, &b.AH, px, make([]float32, m), make([]float32, m))
+	}
+	return int64(f.Elapsed())
+}
+
+func TestGPVariantSlowerThanDMA(t *testing.T) {
+	gp := fpgaRowCost(t, FPGAVariant{GPPort: true, DoubleBuffered: true}, 16, 44)
+	dma := fpgaRowCost(t, FPGAVariant{DoubleBuffered: true}, 16, 44)
+	if gp <= dma {
+		t.Errorf("GP-port variant (%d) should be slower than DMA (%d)", gp, dma)
+	}
+}
+
+func TestCmdQueueVariantFaster(t *testing.T) {
+	q1 := fpgaRowCost(t, FPGAVariant{DoubleBuffered: true, CmdQueueDepth: 1}, 16, 24)
+	q4 := fpgaRowCost(t, FPGAVariant{DoubleBuffered: true, CmdQueueDepth: 4}, 16, 24)
+	if q4 >= q1 {
+		t.Errorf("queue depth 4 (%d) should beat per-row commands (%d)", q4, q1)
+	}
+}
+
+func TestVariantsProduceIdenticalResults(t *testing.T) {
+	// Design variants change timing only — never the data.
+	rng := rand.New(rand.NewSource(72))
+	b := wavelet.CDF97
+	m := 20
+	px := randSlice(rng, 2*m+signal.TapCount)
+	var ref []float32
+	for _, v := range []FPGAVariant{
+		{DoubleBuffered: true},
+		{DoubleBuffered: false},
+		{GPPort: true, DoubleBuffered: true},
+		{DoubleBuffered: true, CmdQueueDepth: 8},
+	} {
+		f := NewFPGAVariant(v)
+		lo := make([]float32, m)
+		hi := make([]float32, m)
+		f.Analyze(&b.AL, &b.AH, px, lo, hi)
+		if ref == nil {
+			ref = append(lo[:len(lo):len(lo)], hi...)
+			continue
+		}
+		got := append(lo[:len(lo):len(lo)], hi...)
+		for i := range ref {
+			if ref[i] != got[i] {
+				t.Fatalf("variant %+v changed results at %d", v, i)
+			}
+		}
+	}
+}
+
+func TestNEONManualAndAutoCostSimilar(t *testing.T) {
+	// The paper: "both the manual and auto vectorization produced similar
+	// performance enhancement". The two variants must land within 10% of
+	// each other on a full row workload.
+	rng := rand.New(rand.NewSource(73))
+	b := wavelet.CDF97
+	m := 44
+	px := randSlice(rng, 2*m+signal.TapCount)
+	cost := func(manual bool) int64 {
+		e := NewNEON(manual)
+		for k := 0; k < 50; k++ {
+			e.Analyze(&b.AL, &b.AH, px, make([]float32, m), make([]float32, m))
+		}
+		return int64(e.Elapsed())
+	}
+	auto, manual := cost(false), cost(true)
+	ratio := float64(auto) / float64(manual)
+	if ratio < 0.90 || ratio > 1.10 {
+		t.Errorf("auto/manual cost ratio %.3f outside [0.9, 1.1]", ratio)
+	}
+}
+
+func TestNEONTailPenaltyVisible(t *testing.T) {
+	// A 17-pair row (remainder 1) must cost more than 17/16 of a 16-pair
+	// row would suggest, because the tail runs scalar.
+	rng := rand.New(rand.NewSource(74))
+	b := wavelet.CDF97
+	cost := func(m int) float64 {
+		e := NewNEON(false)
+		px := randSlice(rng, 2*m+signal.TapCount)
+		e.Analyze(&b.AL, &b.AH, px, make([]float32, m), make([]float32, m))
+		return float64(e.Elapsed())
+	}
+	c16 := cost(16)
+	c17 := cost(17)
+	perPair16 := (c16 - 0) / 16
+	marginal := c17 - c16
+	if marginal <= perPair16 {
+		t.Errorf("scalar-tail pair (%.0f) should cost more than a vector pair (%.0f)",
+			marginal, perPair16)
+	}
+}

@@ -1,0 +1,250 @@
+// Package frame provides the image-plane substrate used throughout the
+// fusion system: single-channel float32 frames, pixel access helpers,
+// sub-frame extraction (the paper evaluates "four sets of smaller frames"
+// cut from the 88x72 sensor frames), format conversion and PGM I/O.
+//
+// Samples are float32 because the paper's accelerators (NEON float32x4
+// lanes and the HLS engine's 32-bit float datapath) operate on 32-bit
+// floats. Pixel intensity convention is [0,255] unless stated otherwise.
+package frame
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Frame is a single-channel raster of float32 samples in row-major order.
+// The zero value is an empty frame; use New to allocate.
+type Frame struct {
+	W, H int
+	Pix  []float32 // len == W*H, row-major
+}
+
+// New allocates a zeroed w x h frame.
+func New(w, h int) *Frame {
+	if w < 0 || h < 0 {
+		panic(fmt.Sprintf("frame.New: negative size %dx%d", w, h))
+	}
+	return &Frame{W: w, H: h, Pix: make([]float32, w*h)}
+}
+
+// FromBytes builds a frame from 8-bit samples (e.g. a camera plane).
+func FromBytes(w, h int, b []byte) (*Frame, error) {
+	if len(b) != w*h {
+		return nil, fmt.Errorf("frame.FromBytes: have %d bytes, want %d", len(b), w*h)
+	}
+	f := New(w, h)
+	for i, v := range b {
+		f.Pix[i] = float32(v)
+	}
+	return f, nil
+}
+
+// At returns the sample at (x, y). It panics if out of bounds, matching
+// slice semantics.
+func (f *Frame) At(x, y int) float32 { return f.Pix[y*f.W+x] }
+
+// Set stores v at (x, y).
+func (f *Frame) Set(x, y int, v float32) { f.Pix[y*f.W+x] = v }
+
+// Row returns the y-th row as a shared sub-slice.
+func (f *Frame) Row(y int) []float32 { return f.Pix[y*f.W : (y+1)*f.W] }
+
+// Clone returns a deep copy.
+func (f *Frame) Clone() *Frame {
+	g := New(f.W, f.H)
+	copy(g.Pix, f.Pix)
+	return g
+}
+
+// SameSize reports whether f and g have identical dimensions.
+func (f *Frame) SameSize(g *Frame) bool { return f.W == g.W && f.H == g.H }
+
+// Bytes quantizes the frame to 8-bit samples, clamping to [0,255] and
+// rounding to nearest.
+func (f *Frame) Bytes() []byte {
+	b := make([]byte, len(f.Pix))
+	for i, v := range f.Pix {
+		b[i] = clampByte(v)
+	}
+	return b
+}
+
+func clampByte(v float32) byte {
+	if v <= 0 {
+		return 0
+	}
+	if v >= 255 {
+		return 255
+	}
+	return byte(v + 0.5)
+}
+
+// SubFrame extracts the w x h region whose top-left corner is (x, y) as a
+// fresh frame. This mirrors the paper's evaluation protocol, where smaller
+// test frames (64x48 ... 32x24) are extracted from the full 88x72 frames.
+func (f *Frame) SubFrame(x, y, w, h int) (*Frame, error) {
+	if x < 0 || y < 0 || w < 0 || h < 0 || x+w > f.W || y+h > f.H {
+		return nil, fmt.Errorf("frame.SubFrame: region %dx%d@(%d,%d) outside %dx%d", w, h, x, y, f.W, f.H)
+	}
+	g := New(w, h)
+	for r := 0; r < h; r++ {
+		copy(g.Row(r), f.Pix[(y+r)*f.W+x:(y+r)*f.W+x+w])
+	}
+	return g, nil
+}
+
+// CenterSubFrame extracts a centered w x h region.
+func (f *Frame) CenterSubFrame(w, h int) (*Frame, error) {
+	return f.SubFrame((f.W-w)/2, (f.H-h)/2, w, h)
+}
+
+// Fill sets every sample to v.
+func (f *Frame) Fill(v float32) {
+	for i := range f.Pix {
+		f.Pix[i] = v
+	}
+}
+
+// Apply replaces every sample s with fn(s).
+func (f *Frame) Apply(fn func(float32) float32) {
+	for i, v := range f.Pix {
+		f.Pix[i] = fn(v)
+	}
+}
+
+// MinMax returns the smallest and largest samples. An empty frame returns
+// (0, 0).
+func (f *Frame) MinMax() (lo, hi float32) {
+	if len(f.Pix) == 0 {
+		return 0, 0
+	}
+	lo, hi = f.Pix[0], f.Pix[0]
+	for _, v := range f.Pix {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return lo, hi
+}
+
+// Mean returns the average sample value (0 for an empty frame).
+func (f *Frame) Mean() float64 {
+	if len(f.Pix) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range f.Pix {
+		s += float64(v)
+	}
+	return s / float64(len(f.Pix))
+}
+
+// Variance returns the population variance of the samples.
+func (f *Frame) Variance() float64 {
+	if len(f.Pix) == 0 {
+		return 0
+	}
+	m := f.Mean()
+	var s float64
+	for _, v := range f.Pix {
+		d := float64(v) - m
+		s += d * d
+	}
+	return s / float64(len(f.Pix))
+}
+
+// Normalize linearly rescales samples to [0,255]. A constant frame maps to
+// 128.
+func (f *Frame) Normalize() {
+	lo, hi := f.MinMax()
+	if hi == lo {
+		f.Fill(128)
+		return
+	}
+	scale := 255 / (hi - lo)
+	for i, v := range f.Pix {
+		f.Pix[i] = (v - lo) * scale
+	}
+}
+
+// ErrSizeMismatch reports frames of differing dimensions where identical
+// ones are required.
+var ErrSizeMismatch = errors.New("frame: size mismatch")
+
+// Diff returns g - f as a new frame.
+func Diff(f, g *Frame) (*Frame, error) {
+	if !f.SameSize(g) {
+		return nil, ErrSizeMismatch
+	}
+	d := New(f.W, f.H)
+	for i := range d.Pix {
+		d.Pix[i] = g.Pix[i] - f.Pix[i]
+	}
+	return d, nil
+}
+
+// MaxAbsDiff returns the largest absolute per-pixel difference.
+func MaxAbsDiff(f, g *Frame) (float64, error) {
+	if !f.SameSize(g) {
+		return 0, ErrSizeMismatch
+	}
+	var m float64
+	for i := range f.Pix {
+		d := math.Abs(float64(f.Pix[i]) - float64(g.Pix[i]))
+		if d > m {
+			m = d
+		}
+	}
+	return m, nil
+}
+
+// MSE returns the mean squared error between two frames.
+func MSE(f, g *Frame) (float64, error) {
+	if !f.SameSize(g) {
+		return 0, ErrSizeMismatch
+	}
+	if len(f.Pix) == 0 {
+		return 0, nil
+	}
+	var s float64
+	for i := range f.Pix {
+		d := float64(f.Pix[i]) - float64(g.Pix[i])
+		s += d * d
+	}
+	return s / float64(len(f.Pix)), nil
+}
+
+// PSNR returns the peak signal-to-noise ratio in dB for peak value 255.
+// Identical frames return +Inf.
+func PSNR(f, g *Frame) (float64, error) {
+	mse, err := MSE(f, g)
+	if err != nil {
+		return 0, err
+	}
+	if mse == 0 {
+		return math.Inf(1), nil
+	}
+	return 10 * math.Log10(255*255/mse), nil
+}
+
+// GrayFromRGB converts interleaved 8-bit RGB data to a luma frame using the
+// BT.601 weights, mirroring the paper's grey-scaling of the webcam video
+// before fusion.
+func GrayFromRGB(w, h int, rgb []byte) (*Frame, error) {
+	if len(rgb) != w*h*3 {
+		return nil, fmt.Errorf("frame.GrayFromRGB: have %d bytes, want %d", len(rgb), w*h*3)
+	}
+	f := New(w, h)
+	for i := 0; i < w*h; i++ {
+		r := float64(rgb[3*i])
+		g := float64(rgb[3*i+1])
+		b := float64(rgb[3*i+2])
+		f.Pix[i] = float32(0.299*r + 0.587*g + 0.114*b)
+	}
+	return f, nil
+}

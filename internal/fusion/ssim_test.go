@@ -1,0 +1,109 @@
+package fusion
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"zynqfusion/internal/frame"
+)
+
+func TestSSIMIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	f := randFrame(rng, 32, 32)
+	s, err := SSIM(f, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s-1) > 1e-9 {
+		t.Errorf("SSIM(f,f)=%g, want 1", s)
+	}
+}
+
+func TestSSIMOrdersDegradations(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	f := randFrame(rng, 64, 64)
+	slightlyNoisy := f.Clone()
+	veryNoisy := f.Clone()
+	for i := range f.Pix {
+		slightlyNoisy.Pix[i] += float32(rng.NormFloat64() * 3)
+		veryNoisy.Pix[i] += float32(rng.NormFloat64() * 40)
+	}
+	s1, err := SSIM(f, slightlyNoisy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := SSIM(f, veryNoisy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(s1 > s2) {
+		t.Errorf("SSIM ordering broken: slight %g vs heavy %g", s1, s2)
+	}
+	if s1 < 0.5 {
+		t.Errorf("slight noise scored too low: %g", s1)
+	}
+}
+
+func TestSSIMValidatesSizes(t *testing.T) {
+	a := frame.New(32, 32)
+	if _, err := SSIM(a, frame.New(16, 16)); err == nil {
+		t.Error("size mismatch should fail")
+	}
+	if _, err := SSIM(frame.New(4, 4), frame.New(4, 4)); err == nil {
+		t.Error("frames below the window size should fail")
+	}
+}
+
+func TestFusionSSIMPrefersRealFusion(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	a := randFrame(rng, 48, 48)
+	b := randFrame(rng, 48, 48)
+	avg := frame.New(48, 48)
+	for i := range avg.Pix {
+		avg.Pix[i] = 0.5 * (a.Pix[i] + b.Pix[i])
+	}
+	flat := frame.New(48, 48)
+	flat.Fill(128)
+	sAvg, err := FusionSSIM(a, b, avg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sFlat, err := FusionSSIM(a, b, flat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sAvg <= sFlat {
+		t.Errorf("FusionSSIM avg=%g should beat flat=%g", sAvg, sFlat)
+	}
+}
+
+func TestMeanGradientRatio(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	a := randFrame(rng, 48, 48)
+	b := randFrame(rng, 48, 48)
+	// The per-pixel max-gradient source bound: averaging blurs, so its
+	// ratio must be below 1; an identical copy of the sharper union comes
+	// closer.
+	avg := frame.New(48, 48)
+	for i := range avg.Pix {
+		avg.Pix[i] = 0.5 * (a.Pix[i] + b.Pix[i])
+	}
+	rAvg, err := MeanGradientRatio(a, b, avg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rAvg >= 1 {
+		t.Errorf("averaging should lose gradient: ratio %g", rAvg)
+	}
+	rSelf, err := MeanGradientRatio(a, a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rSelf-1) > 1e-9 {
+		t.Errorf("self ratio %g, want 1", rSelf)
+	}
+	if _, err := MeanGradientRatio(a, b, frame.New(3, 3)); err == nil {
+		t.Error("size mismatch should fail")
+	}
+}

@@ -1,0 +1,225 @@
+package hls
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"zynqfusion/internal/axi"
+	"zynqfusion/internal/signal"
+	"zynqfusion/internal/sim"
+	"zynqfusion/internal/wavelet"
+	"zynqfusion/internal/zynq"
+)
+
+func newEngine() *WaveEngine {
+	pl := zynq.PL()
+	return New(zynq.PS(), pl, axi.NewACP(pl))
+}
+
+func loadDefault(t *testing.T, e *WaveEngine) *wavelet.Bank {
+	t.Helper()
+	b := wavelet.CDF97
+	e.LoadCoeffs(&b.AL, &b.AH, &b.SL, &b.SH)
+	return b
+}
+
+func TestForwardBitExactAgainstReference(t *testing.T) {
+	e := newEngine()
+	b := loadDefault(t, e)
+	rng := rand.New(rand.NewSource(41))
+	for _, m := range []int{1, 4, 11, 44, 100} {
+		in := make([]float32, 2*m+signal.TapCount)
+		for i := range in {
+			in[i] = float32(rng.Float64()*200 - 100)
+		}
+		out := make([]float32, 2*m)
+		if _, err := e.Forward(in, out); err != nil {
+			t.Fatalf("m=%d: %v", m, err)
+		}
+		wantLo := make([]float32, m)
+		wantHi := make([]float32, m)
+		signal.AnalyzeRef(&b.AL, &b.AH, in, wantLo, wantHi)
+		for i := 0; i < m; i++ {
+			if out[2*i] != wantHi[i] || out[2*i+1] != wantLo[i] {
+				t.Fatalf("m=%d pair %d: engine (%g,%g) ref (%g,%g)",
+					m, i, out[2*i], out[2*i+1], wantHi[i], wantLo[i])
+			}
+		}
+	}
+}
+
+func TestInverseBitExactAgainstReference(t *testing.T) {
+	e := newEngine()
+	b := loadDefault(t, e)
+	rng := rand.New(rand.NewSource(42))
+	for _, m := range []int{1, 4, 11, 44} {
+		pairs := m + signal.SynthesisPad
+		in := make([]float32, 2*pairs)
+		plo := make([]float32, pairs)
+		phi := make([]float32, pairs)
+		for i := 0; i < pairs; i++ {
+			plo[i] = float32(rng.Float64()*20 - 10)
+			phi[i] = float32(rng.Float64()*20 - 10)
+			in[2*i] = plo[i]
+			in[2*i+1] = phi[i]
+		}
+		out := make([]float32, 2*m)
+		if _, err := e.Inverse(in, out); err != nil {
+			t.Fatalf("m=%d: %v", m, err)
+		}
+		want := make([]float32, 2*m)
+		signal.SynthesizeRef(&b.SL, &b.SH, plo, phi, want)
+		for i := range want {
+			if out[i] != want[i] {
+				t.Fatalf("m=%d sample %d: engine %g ref %g", m, i, out[i], want[i])
+			}
+		}
+	}
+}
+
+func TestEngineRequiresCoefficients(t *testing.T) {
+	e := newEngine()
+	in := make([]float32, 2*4+signal.TapCount)
+	out := make([]float32, 8)
+	if _, err := e.Forward(in, out); !errors.Is(err, ErrNoCoeffs) {
+		t.Errorf("Forward without coeffs: %v, want ErrNoCoeffs", err)
+	}
+}
+
+func TestEngineRejectsOversizedRows(t *testing.T) {
+	e := newEngine()
+	loadDefault(t, e)
+	m := (BRAMArea - signal.TapCount) / 2 // largest legal input
+	in := make([]float32, 2*m+signal.TapCount)
+	out := make([]float32, 2*m)
+	if _, err := e.Forward(in, out); err != nil {
+		t.Errorf("row of %d words should fit: %v", len(in), err)
+	}
+	m = BRAMArea / 2 // output 2m == BRAMArea fits, input 2m+12 does not
+	in = make([]float32, 2*m+signal.TapCount)
+	out = make([]float32, 2*m)
+	if _, err := e.Forward(in, out); !errors.Is(err, ErrRowTooWide) {
+		t.Errorf("oversized row: %v, want ErrRowTooWide", err)
+	}
+}
+
+func TestEngineRejectsBadLengths(t *testing.T) {
+	e := newEngine()
+	loadDefault(t, e)
+	if _, err := e.Forward(make([]float32, 20), make([]float32, 10)); !errors.Is(err, ErrBadLength) {
+		t.Errorf("bad length: %v", err)
+	}
+	if _, err := e.Forward(make([]float32, signal.TapCount), make([]float32, 0)); !errors.Is(err, ErrWidthTooSmall) {
+		t.Errorf("zero width: %v", err)
+	}
+}
+
+func TestRowTimeComponents(t *testing.T) {
+	// One row's PL time must be the sum of the two (non-overlapped)
+	// memcpys plus the pipeline: (m+6) iterations + depth at 100 MHz.
+	e := newEngine()
+	loadDefault(t, e)
+	m := 44
+	in := make([]float32, 2*m+signal.TapCount)
+	out := make([]float32, 2*m)
+	acpBefore := *e.ACP
+	got, err := e.Forward(in, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := zynq.PL()
+	fresh := axi.NewACP(pl)
+	want := fresh.Transfer(len(in)) + pl.Cycles(int64(m+6+PipelineDepth)) + fresh.Transfer(len(out))
+	if got != want {
+		t.Errorf("row time %v, want %v", got, want)
+	}
+	if e.ACP.Transfers != acpBefore.Transfers+2 {
+		t.Errorf("expected 2 DMA transfers, got %d", e.ACP.Transfers-acpBefore.Transfers)
+	}
+}
+
+func TestPipelineIsIIOne(t *testing.T) {
+	// Doubling the row width must add exactly the marginal DMA beats plus
+	// one PL cycle per extra iteration: initiation interval of one.
+	e := newEngine()
+	loadDefault(t, e)
+	run := func(m int) sim.Time {
+		in := make([]float32, 2*m+signal.TapCount)
+		out := make([]float32, 2*m)
+		tm, err := e.Forward(in, out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tm
+	}
+	t1 := run(100)
+	t2 := run(200)
+	pl := zynq.PL()
+	acp := axi.NewACP(pl)
+	wantDelta := pl.CyclesF(acp.BeatsPerWord*float64(2*100+2*100)) + pl.Cycles(100)
+	delta := t2 - t1
+	if delta != wantDelta {
+		t.Errorf("marginal cost %v, want %v (II=1)", delta, wantDelta)
+	}
+}
+
+func TestLoadCoeffsAccounting(t *testing.T) {
+	e := newEngine()
+	b := wavelet.CDF97
+	tm := e.LoadCoeffs(&b.AL, &b.AH, &b.SL, &b.SH)
+	// 1 mode write + 48 coefficient words.
+	if e.Lite.Writes != 49 {
+		t.Errorf("AXI-Lite writes = %d, want 49", e.Lite.Writes)
+	}
+	// Sum per access, matching the port's per-transaction accounting.
+	var want sim.Time
+	for i := 0; i < 49; i++ {
+		want += zynq.PS().Cycles(axi.GPWordCycles)
+	}
+	if tm != want {
+		t.Errorf("coefficient load time %v, want %v", tm, want)
+	}
+	if !e.CoeffsLoaded() {
+		t.Error("coefficients should be resident")
+	}
+}
+
+func TestCommandTime(t *testing.T) {
+	e := newEngine()
+	tm := e.CommandTime(2)
+	var want sim.Time // 4 writes + 2 polls, summed per transaction
+	for i := 0; i < 6; i++ {
+		want += zynq.PS().Cycles(axi.GPWordCycles)
+	}
+	if tm != want {
+		t.Errorf("command time %v, want %v", tm, want)
+	}
+}
+
+func TestTableIResources(t *testing.T) {
+	r := EstimateWaveEngine()
+	if r.Part != zynq.Part {
+		t.Errorf("part %q", r.Part)
+	}
+	if r.Registers != 23412 || r.LUTs != 17405 || r.Slices != 7890 || r.BUFG != 3 {
+		t.Errorf("resources %+v, want Table I: 23412 regs, 17405 LUTs, 7890 slices, 3 BUFG", r)
+	}
+	regs, luts, slices, bufg := r.Utilization()
+	if regs != 22 || luts != 32 || slices != 59 || bufg != 9 {
+		t.Errorf("utilization %d%%/%d%%/%d%%/%d%%, want 22/32/59/9", regs, luts, slices, bufg)
+	}
+}
+
+func TestGPTransferMotivatesDMA(t *testing.T) {
+	// The ablation behind the custom DMA engine: moving one 88-pixel row
+	// through the GP port with the CPU takes far longer than the ACP
+	// burst.
+	ps, pl := zynq.PS(), zynq.PL()
+	words := 2*44 + signal.TapCount
+	gp := axi.GPTransfer(ps, words)
+	acp := axi.NewACP(pl).Transfer(words)
+	if gp < 2*acp {
+		t.Errorf("GP %v should be much slower than ACP %v", gp, acp)
+	}
+}

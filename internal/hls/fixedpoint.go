@@ -1,0 +1,126 @@
+package hls
+
+import (
+	"zynqfusion/internal/signal"
+	"zynqfusion/internal/zynq"
+)
+
+// This file models the classic alternative to the paper's floating-point
+// datapath: a Q16.16 fixed-point engine. Fixed-point multiply-accumulate
+// maps directly onto DSP48 slices, cutting fabric cost dramatically, at
+// the price of quantization error. The FixedKernel lets the whole fusion
+// pipeline run through the quantized datapath so the quality cost is
+// measurable end to end.
+
+// FixedFrac is the fractional bit count of the Q16.16 format.
+const FixedFrac = 16
+
+// fixedOne is the fixed-point representation of 1.0.
+const fixedOne = int64(1) << FixedFrac
+
+// toFixed quantizes a float to Q16.16 with saturation. The clamp happens
+// in the float domain: converting an out-of-range float to int64 is
+// implementation-defined in Go.
+func toFixed(v float32) int64 {
+	f := float64(v) * float64(fixedOne)
+	const limit = int64(1)<<47 - 1 // 48-bit accumulator headroom
+	if f >= float64(limit) {
+		return limit
+	}
+	if f <= -float64(limit) {
+		return -limit
+	}
+	return int64(f)
+}
+
+// fromFixed converts back to float.
+func fromFixed(x int64) float32 {
+	return float32(float64(x) / float64(fixedOne))
+}
+
+// fixedMAC is one Q16.16 multiply-accumulate with a 48-bit accumulator
+// (the DSP48 structure): the product of two Q16.16 values is Q32.32,
+// renormalized to Q32.16 before accumulation.
+func fixedMAC(acc, a, b int64) int64 {
+	return acc + (a*b)>>FixedFrac
+}
+
+// FixedKernel implements signal.Kernel on the fixed-point datapath. It is
+// deterministic and engine-agnostic (timing is identical to the float
+// engine — II=1 either way — only fabric cost and accuracy change).
+type FixedKernel struct{}
+
+// Analyze implements signal.Kernel with quantized arithmetic.
+func (FixedKernel) Analyze(al, ah *signal.Taps, px []float32, lo, hi []float32) {
+	m := len(lo)
+	if len(hi) != m || len(px) != 2*m+signal.TapCount {
+		panic("hls.FixedKernel: inconsistent lengths")
+	}
+	var cl, ch [signal.TapCount]int64
+	for j := 0; j < signal.TapCount; j++ {
+		cl[j] = toFixed(al[j])
+		ch[j] = toFixed(ah[j])
+	}
+	for i := 0; i < m; i++ {
+		var accL, accH int64
+		for j := 0; j < signal.TapCount; j++ {
+			x := toFixed(px[2*i+j])
+			accL = fixedMAC(accL, cl[j], x)
+			accH = fixedMAC(accH, ch[j], x)
+		}
+		lo[i] = fromFixed(accL)
+		hi[i] = fromFixed(accH)
+	}
+}
+
+// Synthesize implements signal.Kernel with quantized arithmetic.
+func (FixedKernel) Synthesize(sl, sh *signal.Taps, plo, phi []float32, out []float32) {
+	m := len(out) / 2
+	const half = signal.TapCount / 2
+	if len(out) != 2*m || len(plo) != m+half-1 || len(phi) != m+half-1 {
+		panic("hls.FixedKernel: inconsistent lengths")
+	}
+	var se, so, he, ho [half]int64
+	for k := 0; k < half; k++ {
+		se[k] = toFixed(sl[2*k])
+		so[k] = toFixed(sl[2*k+1])
+		he[k] = toFixed(sh[2*k])
+		ho[k] = toFixed(sh[2*k+1])
+	}
+	for i := 0; i < m; i++ {
+		var even, odd int64
+		base := i + half - 1
+		for k := 0; k < half; k++ {
+			l := toFixed(plo[base-k])
+			h := toFixed(phi[base-k])
+			even = fixedMAC(even, se[k], l)
+			even = fixedMAC(even, he[k], h)
+			odd = fixedMAC(odd, so[k], l)
+			odd = fixedMAC(odd, ho[k], h)
+		}
+		out[2*i] = fromFixed(even)
+		out[2*i+1] = fromFixed(odd)
+	}
+}
+
+// EstimateFixedPointEngine estimates the fixed-point variant's fabric
+// cost: each Q16.16 MAC is one DSP48 plus a small LUT/FF overhead instead
+// of a multi-hundred-LUT floating-point operator, so the datapath nearly
+// vanishes from the fabric budget while the AXI and control logic remain.
+func EstimateFixedPointEngine() Resources {
+	const (
+		macs    = 2 * 12 // same unrolled structure as the float engine
+		macLUTs = 18     // alignment and rounding glue per DSP48 MAC
+		macFFs  = 49     // pipeline registers around the DSP
+	)
+	luts := macs*macLUTs + axiMasterLUTs + axiLiteLUTs + controlLUTs + shiftRegMuxLUTs
+	ffs := macs*macFFs + axiMasterFFs + axiLiteFFs + controlFFs + shiftRegFFs
+	slices := int(float64(max(ffs/8, luts/4))/slicePacking + 0.5)
+	return Resources{
+		Part:      zynq.Part,
+		Registers: ffs,
+		LUTs:      luts,
+		Slices:    slices,
+		BUFG:      3,
+	}
+}

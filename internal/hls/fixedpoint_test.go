@@ -1,0 +1,95 @@
+package hls
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"zynqfusion/internal/frame"
+	"zynqfusion/internal/signal"
+	"zynqfusion/internal/wavelet"
+)
+
+func TestFixedConversionRoundTrip(t *testing.T) {
+	for _, v := range []float32{0, 1, -1, 0.5, 123.456, -250.25} {
+		got := fromFixed(toFixed(v))
+		if math.Abs(float64(got-v)) > 1.0/float64(fixedOne)+1e-7 {
+			t.Errorf("round trip %g -> %g", v, got)
+		}
+	}
+}
+
+func TestFixedSaturates(t *testing.T) {
+	huge := float32(math.MaxFloat32)
+	if x := toFixed(huge); x != int64(1)<<47-1 {
+		t.Errorf("positive saturation failed: %d", x)
+	}
+	if x := toFixed(-huge); x != -(int64(1)<<47 - 1) {
+		t.Errorf("negative saturation failed: %d", x)
+	}
+}
+
+func TestFixedKernelCloseToFloat(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	b := wavelet.CDF97
+	m := 32
+	px := make([]float32, 2*m+signal.TapCount)
+	for i := range px {
+		px[i] = float32(rng.Float64()*500 - 250)
+	}
+	wantLo := make([]float32, m)
+	wantHi := make([]float32, m)
+	signal.AnalyzeRef(&b.AL, &b.AH, px, wantLo, wantHi)
+	lo := make([]float32, m)
+	hi := make([]float32, m)
+	FixedKernel{}.Analyze(&b.AL, &b.AH, px, lo, hi)
+	for i := 0; i < m; i++ {
+		if d := math.Abs(float64(lo[i] - wantLo[i])); d > 0.05 {
+			t.Errorf("lo[%d] quantization error %g", i, d)
+		}
+		if d := math.Abs(float64(hi[i] - wantHi[i])); d > 0.05 {
+			t.Errorf("hi[%d] quantization error %g", i, d)
+		}
+	}
+}
+
+func TestFixedKernelRoundTripThroughWavelet(t *testing.T) {
+	// Full DT-CWT through the quantized datapath: reconstruction must
+	// stay within a fraction of a grey level (the fixed-point design is
+	// usable, which is the point of the ablation).
+	rng := rand.New(rand.NewSource(82))
+	fr := frame.New(48, 40)
+	for i := range fr.Pix {
+		fr.Pix[i] = float32(rng.Intn(256))
+	}
+	tr := wavelet.NewDTCWT(wavelet.NewXfm(FixedKernel{}), wavelet.DefaultTreeBanks())
+	p, err := tr.Forward(fr, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := tr.Inverse(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var worst float64
+	for i := range rec.Pix {
+		if d := math.Abs(float64(rec.Pix[i] - fr.Pix[i])); d > worst {
+			worst = d
+		}
+	}
+	if worst > 0.5 {
+		t.Errorf("fixed-point DT-CWT round trip error %g grey levels", worst)
+	}
+}
+
+func TestFixedPointResourcesFarBelowFloat(t *testing.T) {
+	fx := EstimateFixedPointEngine()
+	fl := EstimateWaveEngine()
+	if fx.LUTs >= fl.LUTs/2 || fx.Registers >= fl.Registers/2 {
+		t.Errorf("fixed-point engine (%d LUTs, %d FFs) should be far below float (%d, %d)",
+			fx.LUTs, fx.Registers, fl.LUTs, fl.Registers)
+	}
+	if fx.BUFG != fl.BUFG {
+		t.Error("clocking unchanged between datapaths")
+	}
+}

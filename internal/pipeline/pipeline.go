@@ -1,0 +1,198 @@
+// Package pipeline assembles the complete fusion dataflow of the paper's
+// system: capture and greyscale conversion, forward DT-CWT of both source
+// frames, coefficient fusion, inverse DT-CWT, and display — with per-stage
+// simulated timing and energy on a selectable execution engine.
+package pipeline
+
+import (
+	"errors"
+	"fmt"
+
+	"zynqfusion/internal/engine"
+	"zynqfusion/internal/frame"
+	"zynqfusion/internal/fusion"
+	"zynqfusion/internal/power"
+	"zynqfusion/internal/sim"
+	"zynqfusion/internal/wavelet"
+)
+
+// Config selects the transform and fusion parameters.
+type Config struct {
+	// Levels is the DT-CWT decomposition depth (the paper uses deeper
+	// decomposition to shrink per-level workloads; 3 is the default).
+	Levels int
+	// Banks are the dual-tree filter banks; zero value selects the
+	// defaults.
+	Banks wavelet.TreeBanks
+	// Rule is the coefficient fusion rule; nil selects max-magnitude.
+	Rule fusion.Rule
+	// IncludeIO charges the capture and display stages (on for system
+	// simulations, off for transform micro-benchmarks).
+	IncludeIO bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Levels == 0 {
+		c.Levels = 3
+	}
+	if c.Banks == (wavelet.TreeBanks{}) {
+		c.Banks = wavelet.DefaultTreeBanks()
+	}
+	if c.Rule == nil {
+		c.Rule = fusion.MaxMagnitude{}
+	}
+	return c
+}
+
+// StageTimes reports the simulated cost of one fused frame, split by
+// pipeline stage (the Fig. 2 decomposition).
+type StageTimes struct {
+	Capture sim.Time
+	Forward sim.Time // both source transforms
+	Fuse    sim.Time
+	Inverse sim.Time
+	Display sim.Time
+	Total   sim.Time
+	Energy  sim.Joules
+}
+
+// Add accumulates other into s.
+func (s *StageTimes) Add(other StageTimes) {
+	s.Capture += other.Capture
+	s.Forward += other.Forward
+	s.Fuse += other.Fuse
+	s.Inverse += other.Inverse
+	s.Display += other.Display
+	s.Total += other.Total
+	s.Energy += other.Energy
+}
+
+// energyDrainer is implemented by engines whose power level varies over
+// the drained span (the adaptive scheduler); plain engines use a constant
+// mode power.
+type energyDrainer interface {
+	DrainEnergy() (sim.Time, sim.Joules)
+}
+
+// Fuser runs the fusion pipeline on one engine.
+type Fuser struct {
+	eng engine.Engine
+	dt  *wavelet.DTCWT
+	cfg Config
+}
+
+// New returns a Fuser bound to the engine.
+func New(eng engine.Engine, cfg Config) *Fuser {
+	cfg = cfg.withDefaults()
+	return &Fuser{
+		eng: eng,
+		dt:  wavelet.NewDTCWT(wavelet.NewXfm(eng), cfg.Banks),
+		cfg: cfg,
+	}
+}
+
+// Engine returns the bound engine.
+func (f *Fuser) Engine() engine.Engine { return f.eng }
+
+// Config returns the effective configuration.
+func (f *Fuser) Config() Config { return f.cfg }
+
+// drain returns the engine time consumed since the last drain.
+func (f *Fuser) drain() sim.Time { return f.eng.Reset() }
+
+// FuseFrames fuses one visible/infrared frame pair.
+func (f *Fuser) FuseFrames(vis, ir *frame.Frame) (*frame.Frame, StageTimes, error) {
+	if vis == nil || ir == nil {
+		return nil, StageTimes{}, errors.New("pipeline: nil input frame")
+	}
+	if !vis.SameSize(ir) {
+		return nil, StageTimes{}, fmt.Errorf("pipeline: source sizes differ: %dx%d vs %dx%d",
+			vis.W, vis.H, ir.W, ir.H)
+	}
+	levels := f.cfg.Levels
+	if maxLv := wavelet.MaxLevels(vis.W, vis.H); levels > maxLv {
+		return nil, StageTimes{}, fmt.Errorf("pipeline: %d levels exceed max %d for %dx%d",
+			levels, maxLv, vis.W, vis.H)
+	}
+	var st StageTimes
+	px := float64(vis.W * vis.H)
+	f.drain() // discard anything pending
+
+	if f.cfg.IncludeIO {
+		f.eng.ChargeCPUCycles(2 * px * engine.CaptureCyclesPerPixel)
+		st.Capture = f.drain()
+	}
+
+	pa, err := f.dt.Forward(vis, levels)
+	if err != nil {
+		return nil, st, err
+	}
+	pb, err := f.dt.Forward(ir, levels)
+	if err != nil {
+		return nil, st, err
+	}
+	st.Forward = f.drain()
+
+	fused, err := fusion.Fuse(f.cfg.Rule, pa, pb)
+	if err != nil {
+		return nil, st, err
+	}
+	f.eng.ChargeCPUCycles(px * engine.FusionRuleCyclesPerPixel)
+	st.Fuse = f.drain()
+
+	rec, err := f.dt.Inverse(fused)
+	if err != nil {
+		return nil, st, err
+	}
+	st.Inverse = f.drain()
+
+	if f.cfg.IncludeIO {
+		f.eng.ChargeCPUCycles(px * engine.DisplayCyclesPerPixel)
+		st.Display = f.drain()
+	}
+
+	st.Total = st.Capture + st.Forward + st.Fuse + st.Inverse + st.Display
+	st.Energy = f.energyFor(st.Total)
+	return rec, st, nil
+}
+
+// energyFor converts a span to energy at the engine's mode power. The
+// wave engine's clock and static power are drawn for the whole fusion
+// while the FPGA mode is active, which is how the paper measures its flat
+// +19.2 mW.
+func (f *Fuser) energyFor(t sim.Time) sim.Joules {
+	if d, ok := f.eng.(energyDrainer); ok {
+		_, e := d.DrainEnergy()
+		return e
+	}
+	return sim.EnergyOver(f.eng.Power(), t)
+}
+
+// ForwardOnly runs just the two forward transforms of a frame pair,
+// returning the pyramids and the forward stage time (Fig. 9a workloads).
+func (f *Fuser) ForwardOnly(vis, ir *frame.Frame) (pa, pb *wavelet.DTPyramid, t sim.Time, err error) {
+	f.drain()
+	pa, err = f.dt.Forward(vis, f.cfg.Levels)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	pb, err = f.dt.Forward(ir, f.cfg.Levels)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	return pa, pb, f.drain(), nil
+}
+
+// InverseOnly reconstructs from a fused pyramid, returning the inverse
+// stage time (Fig. 9c workloads).
+func (f *Fuser) InverseOnly(p *wavelet.DTPyramid) (*frame.Frame, sim.Time, error) {
+	f.drain()
+	rec, err := f.dt.Inverse(p)
+	if err != nil {
+		return nil, 0, err
+	}
+	return rec, f.drain(), nil
+}
+
+// ModePower reports the board power of the fuser's engine mode.
+func (f *Fuser) ModePower() sim.Watts { return power.ModePower(f.eng.Name()) }

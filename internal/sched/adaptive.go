@@ -1,0 +1,157 @@
+package sched
+
+import (
+	"fmt"
+
+	"zynqfusion/internal/engine"
+	"zynqfusion/internal/power"
+	"zynqfusion/internal/signal"
+	"zynqfusion/internal/sim"
+	"zynqfusion/internal/zynq"
+)
+
+// Adaptive is an engine.Engine that routes every kernel row to the ARM,
+// NEON or FPGA engine according to a Policy, implementing the adaptive
+// system of the paper's conclusion. Structure work (padding, gathers, the
+// fusion rule) always runs on the CPU.
+//
+// Energy accounting differs from the fixed ARM+FPGA mode: the adaptive
+// system clock-gates the wave engine while rows run on NEON, so only the
+// spans actually spent in the FPGA draw the +19.2 mW.
+type Adaptive struct {
+	policy Policy
+	fb     Feedback // policy's feedback hook, if any
+
+	ps   sim.Clock
+	arm  *engine.ARM
+	neon *engine.NEON
+	fpga *engine.FPGA
+
+	cpuCycles float64 // structure work
+
+	// Drained accumulators (filled on Reset, emptied on DrainEnergy).
+	accTime   sim.Time
+	accEnergy sim.Joules
+
+	// Per-engine routed-time statistics since construction.
+	RoutedTime map[string]sim.Time
+	RoutedRows map[string]int64
+}
+
+// NewAdaptive builds the adaptive engine over fresh ARM/NEON/FPGA engines.
+func NewAdaptive(p Policy) *Adaptive {
+	a := &Adaptive{
+		policy:     p,
+		ps:         zynq.PS(),
+		arm:        engine.NewARM(),
+		neon:       engine.NewNEON(false),
+		fpga:       engine.NewFPGA(),
+		RoutedTime: make(map[string]sim.Time),
+		RoutedRows: make(map[string]int64),
+	}
+	a.fb, _ = p.(Feedback)
+	return a
+}
+
+// Name implements engine.Engine.
+func (a *Adaptive) Name() string { return "adaptive(" + a.policy.Name() + ")" }
+
+// Policy returns the routing policy.
+func (a *Adaptive) Policy() Policy { return a.policy }
+
+func (a *Adaptive) route(pairs int, inverse bool) engine.Engine {
+	switch a.policy.Pick(pairs, inverse) {
+	case "arm":
+		return a.arm
+	case "fpga":
+		return a.fpga
+	case "neon":
+		return a.neon
+	default:
+		panic(fmt.Sprintf("sched: policy %q picked unknown engine", a.policy.Name()))
+	}
+}
+
+// peeker is implemented by engines whose Elapsed would disturb internal
+// pipelining (the FPGA drains its double buffer); Peek prices work without
+// side effects.
+type peeker interface {
+	Peek() sim.Time
+}
+
+// probe reads an engine's running cost without draining it.
+func probe(e engine.Engine) sim.Time {
+	if p, ok := e.(peeker); ok {
+		return p.Peek()
+	}
+	return e.Elapsed()
+}
+
+// Analyze implements signal.Kernel, routing by row width.
+func (a *Adaptive) Analyze(al, ah *signal.Taps, px []float32, lo, hi []float32) {
+	e := a.route(len(lo), false)
+	before := probe(e)
+	e.Analyze(al, ah, px, lo, hi)
+	a.observe(len(lo), false, e, probe(e)-before)
+}
+
+// Synthesize implements signal.Kernel, routing by row width.
+func (a *Adaptive) Synthesize(sl, sh *signal.Taps, plo, phi []float32, out []float32) {
+	pairs := len(out) / 2
+	e := a.route(pairs, true)
+	before := probe(e)
+	e.Synthesize(sl, sh, plo, phi, out)
+	a.observe(pairs, true, e, probe(e)-before)
+}
+
+func (a *Adaptive) observe(pairs int, inverse bool, e engine.Engine, cost sim.Time) {
+	a.RoutedTime[e.Name()] += cost
+	a.RoutedRows[e.Name()]++
+	if a.fb != nil {
+		a.fb.Observe(pairs, inverse, e.Name(), cost)
+	}
+}
+
+// ChargeCPU implements engine.Engine (structure work on the ARM core).
+func (a *Adaptive) ChargeCPU(samples int) {
+	a.cpuCycles += engine.StructureCyclesPerSample * float64(samples)
+}
+
+// ChargeCPUCycles implements engine.Engine.
+func (a *Adaptive) ChargeCPUCycles(cycles float64) { a.cpuCycles += cycles }
+
+// Elapsed implements engine.Engine: the engines execute serially from the
+// CPU's point of view, so spans add.
+func (a *Adaptive) Elapsed() sim.Time {
+	return a.ps.CyclesF(a.cpuCycles) + a.arm.Elapsed() + a.neon.Elapsed() + a.fpga.Elapsed()
+}
+
+// Reset implements engine.Engine. The drained span's energy (CPU and NEON
+// spans at base power, FPGA spans at the wave-engine power) accumulates
+// for DrainEnergy.
+func (a *Adaptive) Reset() sim.Time {
+	cpu := a.ps.CyclesF(a.cpuCycles)
+	a.cpuCycles = 0
+	armT := a.arm.Reset()
+	neonT := a.neon.Reset()
+	fpgaT := a.fpga.Reset()
+	total := cpu + armT + neonT + fpgaT
+	a.accTime += total
+	a.accEnergy += sim.EnergyOver(power.ARMActive, cpu+armT+neonT)
+	a.accEnergy += sim.EnergyOver(power.FPGAActive, fpgaT)
+	return total
+}
+
+// DrainEnergy returns and clears the accumulated span and energy. It
+// drains any un-Reset work first.
+func (a *Adaptive) DrainEnergy() (sim.Time, sim.Joules) {
+	a.Reset()
+	t, e := a.accTime, a.accEnergy
+	a.accTime, a.accEnergy = 0, 0
+	return t, e
+}
+
+// Power implements engine.Engine: the time-weighted mean power is only
+// known after a span is drained, so the instantaneous value reports the
+// base power. Pipelines use DrainEnergy for exact accounting.
+func (a *Adaptive) Power() sim.Watts { return power.ARMActive }

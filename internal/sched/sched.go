@@ -1,0 +1,208 @@
+// Package sched implements the run-time engine selection the paper
+// concludes is optimal: "an adaptive system that intelligently selects
+// between the SIMD engine and the FPGA achieves the most energy and
+// performance efficiency point".
+//
+// Selection happens per kernel row, which in practice means per
+// decomposition level and direction: every row of one level pass has the
+// same width, and the paper's key observation is exactly that deeper
+// (smaller) levels favor NEON while full-size levels favor the FPGA.
+// Policies range from the static single-engine baselines through a fixed
+// width threshold to an online learner that measures both engines and
+// converges on the better one per workload size.
+package sched
+
+import (
+	"fmt"
+
+	"zynqfusion/internal/power"
+	"zynqfusion/internal/sim"
+)
+
+// Policy decides which engine runs a kernel call.
+type Policy interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// Pick returns "arm", "neon" or "fpga" for a row of the given output
+	// pair count and direction.
+	Pick(pairs int, inverse bool) string
+}
+
+// Feedback is implemented by policies that learn from measured costs.
+type Feedback interface {
+	// Observe reports the simulated cost of one routed row.
+	Observe(pairs int, inverse bool, engine string, cost sim.Time)
+}
+
+// Static always picks one engine (the paper's three fixed configurations).
+type Static struct{ Engine string }
+
+// Name implements Policy.
+func (s Static) Name() string { return "static-" + s.Engine }
+
+// Pick implements Policy.
+func (s Static) Pick(int, bool) string { return s.Engine }
+
+// Threshold routes wide rows to the FPGA and narrow rows to NEON, the
+// direct implementation of the paper's frame-size breaking point. The
+// defaults derive from the calibrated cost model: the FPGA's ~9k-cycle
+// per-invocation driver overhead amortizes once a row carries about 15
+// output pairs.
+type Threshold struct {
+	// FwdPairs and InvPairs are the minimum output pair counts routed to
+	// the FPGA for analysis and synthesis rows. Zero selects the defaults.
+	FwdPairs, InvPairs int
+}
+
+// Default crossover widths from the calibrated cost model.
+const (
+	DefaultFwdThreshold = 15
+	DefaultInvThreshold = 16
+)
+
+// Name implements Policy.
+func (th Threshold) Name() string {
+	f, i := th.thresholds()
+	return fmt.Sprintf("threshold-f%d-i%d", f, i)
+}
+
+func (th Threshold) thresholds() (fwd, inv int) {
+	fwd, inv = th.FwdPairs, th.InvPairs
+	if fwd == 0 {
+		fwd = DefaultFwdThreshold
+	}
+	if inv == 0 {
+		inv = DefaultInvThreshold
+	}
+	return fwd, inv
+}
+
+// Pick implements Policy.
+func (th Threshold) Pick(pairs int, inverse bool) string {
+	fwd, inv := th.thresholds()
+	limit := fwd
+	if inverse {
+		limit = inv
+	}
+	if pairs >= limit {
+		return "fpga"
+	}
+	return "neon"
+}
+
+// Objective selects what the online policy minimizes.
+type Objective int
+
+// Optimization objectives.
+const (
+	// MinTime minimizes row latency (the performance-optimal point).
+	MinTime Objective = iota
+	// MinEnergy weights each row's latency by the board power of the
+	// engine that ran it, minimizing energy. Because ARM+FPGA draws 3.6%
+	// more board power, the energy objective flips decisions only near
+	// the time-parity widths — exactly the paper's Fig. 10 observation
+	// that the energy crossover sits above the time crossover.
+	MinEnergy
+)
+
+// Online learns the best engine per (row width, direction) by running
+// each candidate a fixed number of times and then exploiting the one with
+// the lower mean cost under the configured objective. It is
+// deterministic: exploration alternates candidates in order.
+type Online struct {
+	// Explore is the number of measurements per candidate before
+	// exploitation starts (default 2).
+	Explore int
+	// Candidates are the engines considered (default neon, fpga).
+	Candidates []string
+	// Objective is what to minimize (default MinTime).
+	Objective Objective
+
+	stats map[onlineKey]*onlineStat
+}
+
+type onlineKey struct {
+	pairs   int
+	inverse bool
+	engine  string
+}
+
+type onlineStat struct {
+	n    int
+	cost sim.Time
+}
+
+// NewOnline returns an online policy with the given exploration budget.
+func NewOnline(explore int) *Online {
+	if explore <= 0 {
+		explore = 2
+	}
+	return &Online{Explore: explore, Candidates: []string{"neon", "fpga"}}
+}
+
+// Name implements Policy.
+func (o *Online) Name() string { return fmt.Sprintf("online-x%d", o.Explore) }
+
+// Pick implements Policy.
+func (o *Online) Pick(pairs int, inverse bool) string {
+	// Explore any candidate that lacks measurements.
+	for _, c := range o.Candidates {
+		if st := o.stat(pairs, inverse, c); st.n < o.Explore {
+			return c
+		}
+	}
+	// Exploit the lowest mean cost.
+	best := o.Candidates[0]
+	bestMean := o.mean(pairs, inverse, best)
+	for _, c := range o.Candidates[1:] {
+		if m := o.mean(pairs, inverse, c); m < bestMean {
+			best, bestMean = c, m
+		}
+	}
+	return best
+}
+
+// Observe implements Feedback.
+func (o *Online) Observe(pairs int, inverse bool, engine string, cost sim.Time) {
+	st := o.stat(pairs, inverse, engine)
+	st.n++
+	if o.Objective == MinEnergy {
+		// Weight the span by the engine's board power: the ledger then
+		// holds energy in arbitrary-but-consistent units.
+		st.cost += sim.Time(float64(cost) * float64(power.ModePower(engine)))
+		return
+	}
+	st.cost += cost
+}
+
+// Decided reports whether the policy has finished exploring the given
+// workload shape.
+func (o *Online) Decided(pairs int, inverse bool) bool {
+	for _, c := range o.Candidates {
+		if o.stat(pairs, inverse, c).n < o.Explore {
+			return false
+		}
+	}
+	return true
+}
+
+func (o *Online) stat(pairs int, inverse bool, engine string) *onlineStat {
+	if o.stats == nil {
+		o.stats = make(map[onlineKey]*onlineStat)
+	}
+	k := onlineKey{pairs: pairs, inverse: inverse, engine: engine}
+	st, ok := o.stats[k]
+	if !ok {
+		st = &onlineStat{}
+		o.stats[k] = st
+	}
+	return st
+}
+
+func (o *Online) mean(pairs int, inverse bool, engine string) float64 {
+	st := o.stat(pairs, inverse, engine)
+	if st.n == 0 {
+		return 0
+	}
+	return float64(st.cost) / float64(st.n)
+}

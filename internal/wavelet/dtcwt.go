@@ -1,0 +1,316 @@
+package wavelet
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"zynqfusion/internal/frame"
+)
+
+// The dual tree runs four separable decompositions, one per (row tree,
+// column tree) combination. Tree B uses one-sample-delayed filters at level
+// 1 and time-reversed filters at levels >= 2, giving the approximate
+// quarter-sample offset that makes the combined transform nearly analytic.
+const numTrees = 4
+
+// Tree combination indices: the first letter names the row (horizontal)
+// tree and the second the column (vertical) tree.
+const (
+	TreeAA = iota
+	TreeAB
+	TreeBA
+	TreeBB
+)
+
+// Orientation labels the six complex subbands of a DT-CWT level, in
+// degrees. The exact label-to-band map is a convention; selectivity (a
+// grating at +45 degrees excites the +45 band far more than the -45 band)
+// is what the tests verify.
+type Orientation int
+
+// The six DT-CWT orientations.
+const (
+	Orient15  Orientation = 15
+	Orient45  Orientation = 45
+	Orient75  Orientation = 75
+	OrientM15 Orientation = -15
+	OrientM45 Orientation = -45
+	OrientM75 Orientation = -75
+)
+
+// Orientations lists the band order used in DTLevel.Bands.
+var Orientations = [6]Orientation{Orient15, Orient45, Orient75, OrientM75, OrientM45, OrientM15}
+
+// ComplexBand is one oriented complex subband.
+type ComplexBand struct {
+	W, H   int
+	Re, Im []float32
+}
+
+// NewComplexBand allocates a zeroed w x h complex band.
+func NewComplexBand(w, h int) *ComplexBand {
+	return &ComplexBand{W: w, H: h, Re: make([]float32, w*h), Im: make([]float32, w*h)}
+}
+
+// Mag returns |z| at index i.
+func (b *ComplexBand) Mag(i int) float64 {
+	return math.Hypot(float64(b.Re[i]), float64(b.Im[i]))
+}
+
+// Energy returns the mean squared magnitude of the band.
+func (b *ComplexBand) Energy() float64 {
+	var s float64
+	for i := range b.Re {
+		s += float64(b.Re[i])*float64(b.Re[i]) + float64(b.Im[i])*float64(b.Im[i])
+	}
+	if len(b.Re) == 0 {
+		return 0
+	}
+	return s / float64(len(b.Re))
+}
+
+// Clone returns a deep copy of the band.
+func (b *ComplexBand) Clone() *ComplexBand {
+	n := &ComplexBand{W: b.W, H: b.H, Re: make([]float32, len(b.Re)), Im: make([]float32, len(b.Im))}
+	copy(n.Re, b.Re)
+	copy(n.Im, b.Im)
+	return n
+}
+
+// DTLevel holds the six oriented complex subbands of one scale.
+type DTLevel struct {
+	Bands [6]*ComplexBand
+}
+
+// DTPyramid is a full DT-CWT decomposition: oriented complex detail bands
+// per level plus the four real lowpass residuals (one per tree
+// combination).
+type DTPyramid struct {
+	W, H   int // original frame size
+	Levels []DTLevel
+	LLs    [numTrees]*frame.Frame
+	trees  [numTrees]*Decomp // retained for inversion bookkeeping
+}
+
+// NumLevels reports the decomposition depth.
+func (p *DTPyramid) NumLevels() int { return len(p.Levels) }
+
+// CloneStructure deep-copies the pyramid (bands, residuals and the
+// per-tree bookkeeping needed for inversion). Fusion rules write into a
+// clone so the source pyramids stay usable.
+func (p *DTPyramid) CloneStructure() *DTPyramid {
+	n := &DTPyramid{W: p.W, H: p.H, Levels: make([]DTLevel, len(p.Levels))}
+	for lv := range p.Levels {
+		for bi, b := range p.Levels[lv].Bands {
+			n.Levels[lv].Bands[bi] = b.Clone()
+		}
+	}
+	for c := range p.LLs {
+		n.LLs[c] = p.LLs[c].Clone()
+		n.trees[c] = p.trees[c].clone()
+	}
+	return n
+}
+
+// clone deep-copies a tree decomposition (banks are immutable and shared).
+func (d *Decomp) clone() *Decomp {
+	n := &Decomp{
+		RowBanks: d.RowBanks,
+		ColBanks: d.ColBanks,
+		Levels:   make([]Bands, len(d.Levels)),
+		LL:       d.LL.Clone(),
+		sizes:    append([]wh(nil), d.sizes...),
+	}
+	for i, b := range d.Levels {
+		n.Levels[i] = Bands{HL: b.HL.Clone(), LH: b.LH.Clone(), HH: b.HH.Clone()}
+	}
+	return n
+}
+
+// TreeBanks selects the filter banks of the dual tree.
+type TreeBanks struct {
+	Level1A *Bank // tree A, level 1
+	Level1B *Bank // tree B, level 1 (conventionally Level1A delayed by one)
+	DeepA   *Bank // tree A, levels >= 2
+	DeepB   *Bank // tree B, levels >= 2 (conventionally DeepA reversed)
+}
+
+// DefaultTreeBanks returns the bank set used throughout the paper
+// reproduction: CDF 9/7 at level 1 (with the one-sample tree-B delay) and
+// the Daubechies-4 pair at deeper levels (time-reversed for tree B).
+func DefaultTreeBanks() TreeBanks {
+	return TreeBanks{
+		Level1A: CDF97,
+		Level1B: cdf97Delayed,
+		DeepA:   Daub4,
+		DeepB:   Daub4Reversed,
+	}
+}
+
+var cdf97Delayed = CDF97.Delayed("cdf-9/7-delayed")
+
+// banksFor expands the tree banks into per-level slices for one tree.
+func (tb TreeBanks) banksFor(tree byte, levels int) []*Bank {
+	out := make([]*Bank, levels)
+	for i := range out {
+		switch {
+		case i == 0 && tree == 'a':
+			out[i] = tb.Level1A
+		case i == 0:
+			out[i] = tb.Level1B
+		case tree == 'a':
+			out[i] = tb.DeepA
+		default:
+			out[i] = tb.DeepB
+		}
+	}
+	return out
+}
+
+// DTCWT runs forward and inverse dual-tree transforms through a kernel.
+// It is not safe for concurrent use.
+type DTCWT struct {
+	X     *Xfm
+	Banks TreeBanks
+}
+
+// NewDTCWT returns a transform bound to the kernel inside x.
+func NewDTCWT(x *Xfm, banks TreeBanks) *DTCWT {
+	return &DTCWT{X: x, Banks: banks}
+}
+
+// Forward computes the DT-CWT of img over the given number of levels.
+func (t *DTCWT) Forward(img *frame.Frame, levels int) (*DTPyramid, error) {
+	if levels < 1 || levels > MaxLevels(img.W, img.H) {
+		return nil, fmt.Errorf("%w: levels=%d for %dx%d", ErrBadLevels, levels, img.W, img.H)
+	}
+	p := &DTPyramid{W: img.W, H: img.H, Levels: make([]DTLevel, levels)}
+	for c := 0; c < numTrees; c++ {
+		rowTree, colTree := comboTrees(c)
+		d, err := Forward2D(t.X, t.Banks.banksFor(rowTree, levels), t.Banks.banksFor(colTree, levels), img, levels)
+		if err != nil {
+			return nil, err
+		}
+		p.trees[c] = d
+		p.LLs[c] = d.LL
+	}
+	for lv := 0; lv < levels; lv++ {
+		p.Levels[lv] = combineLevel(t.X, p.trees, lv)
+	}
+	return p, nil
+}
+
+// Inverse reconstructs the frame from the pyramid. The complex bands are
+// redistributed to the four trees (the exact inverse of the forward
+// combination), each tree is inverted, and the four reconstructions are
+// averaged.
+func (t *DTCWT) Inverse(p *DTPyramid) (*frame.Frame, error) {
+	if p.NumLevels() == 0 {
+		return nil, errors.New("wavelet.DTCWT: empty pyramid")
+	}
+	for lv := range p.Levels {
+		distributeLevel(t.X, p.trees, p.Levels[lv], lv)
+	}
+	var acc *frame.Frame
+	for c := 0; c < numTrees; c++ {
+		p.trees[c].LL = p.LLs[c]
+		rec, err := Inverse2D(t.X, p.trees[c])
+		if err != nil {
+			return nil, err
+		}
+		if acc == nil {
+			acc = rec
+			continue
+		}
+		if !acc.SameSize(rec) {
+			return nil, errors.New("wavelet.DTCWT: tree reconstruction size mismatch")
+		}
+		for i := range acc.Pix {
+			acc.Pix[i] += rec.Pix[i]
+		}
+	}
+	for i := range acc.Pix {
+		acc.Pix[i] *= 1.0 / numTrees
+	}
+	t.X.chargeCPU(numTrees * len(acc.Pix))
+	return acc, nil
+}
+
+func comboTrees(c int) (rowTree, colTree byte) {
+	switch c {
+	case TreeAA:
+		return 'a', 'a'
+	case TreeAB:
+		return 'a', 'b'
+	case TreeBA:
+		return 'b', 'a'
+	default:
+		return 'b', 'b'
+	}
+}
+
+// invSqrt2 scales the unitary four-real-to-two-complex combination.
+const invSqrt2 = 0.7071067811865476
+
+// combineLevel applies the q2c map to each detail band of one level:
+//
+//	z1 = ((p - q) + i(r + s)) / sqrt2
+//	z2 = ((p + q) + i(s - r)) / sqrt2
+//
+// with p = AA, q = BB, r = AB, s = BA. The map is unitary, so
+// |z1|^2 + |z2|^2 = p^2 + q^2 + r^2 + s^2 and it is exactly invertible.
+func combineLevel(x *Xfm, trees [numTrees]*Decomp, lv int) DTLevel {
+	var out DTLevel
+	for bi := 0; bi < 3; bi++ {
+		p := bandOf(trees[TreeAA], lv, bi)
+		q := bandOf(trees[TreeBB], lv, bi)
+		r := bandOf(trees[TreeAB], lv, bi)
+		s := bandOf(trees[TreeBA], lv, bi)
+		z1 := NewComplexBand(p.W, p.H)
+		z2 := NewComplexBand(p.W, p.H)
+		for i := range p.Pix {
+			pp, qq, rr, ss := p.Pix[i], q.Pix[i], r.Pix[i], s.Pix[i]
+			z1.Re[i] = (pp - qq) * invSqrt2
+			z1.Im[i] = (rr + ss) * invSqrt2
+			z2.Re[i] = (pp + qq) * invSqrt2
+			z2.Im[i] = (ss - rr) * invSqrt2
+		}
+		x.chargeCPU(4 * len(p.Pix))
+		out.Bands[bi] = z1
+		out.Bands[5-bi] = z2
+	}
+	return out
+}
+
+// distributeLevel applies c2q, the exact inverse of combineLevel, writing
+// the (possibly fused) complex coefficients back into the four trees.
+func distributeLevel(x *Xfm, trees [numTrees]*Decomp, l DTLevel, lv int) {
+	for bi := 0; bi < 3; bi++ {
+		z1 := l.Bands[bi]
+		z2 := l.Bands[5-bi]
+		p := bandOf(trees[TreeAA], lv, bi)
+		q := bandOf(trees[TreeBB], lv, bi)
+		r := bandOf(trees[TreeAB], lv, bi)
+		s := bandOf(trees[TreeBA], lv, bi)
+		for i := range p.Pix {
+			p.Pix[i] = (z1.Re[i] + z2.Re[i]) * invSqrt2
+			q.Pix[i] = (z2.Re[i] - z1.Re[i]) * invSqrt2
+			r.Pix[i] = (z1.Im[i] - z2.Im[i]) * invSqrt2
+			s.Pix[i] = (z1.Im[i] + z2.Im[i]) * invSqrt2
+		}
+		x.chargeCPU(4 * len(p.Pix))
+	}
+}
+
+// bandOf selects detail band bi (0=HL, 1=LH, 2=HH) of a tree level.
+func bandOf(d *Decomp, lv, bi int) *frame.Frame {
+	switch bi {
+	case 0:
+		return d.Levels[lv].HL
+	case 1:
+		return d.Levels[lv].LH
+	default:
+		return d.Levels[lv].HH
+	}
+}

@@ -1,0 +1,257 @@
+package wavelet
+
+import (
+	"errors"
+	"fmt"
+
+	"zynqfusion/internal/frame"
+)
+
+// Bands holds the detail subbands of one decomposition level. Following
+// the paper's naming, the first letter is the horizontal frequency and the
+// second the vertical one: HL is high-horizontal/low-vertical detail.
+type Bands struct {
+	HL, LH, HH *frame.Frame
+}
+
+// Decomp is a multi-level separable 2-D wavelet decomposition of a frame.
+// Levels[0] is the finest scale. LL is the coarsest lowpass residual.
+type Decomp struct {
+	RowBanks []*Bank // analysis/synthesis bank per level, horizontal
+	ColBanks []*Bank // analysis/synthesis bank per level, vertical
+	Levels   []Bands
+	LL       *frame.Frame
+	sizes    []wh // unpadded input size at each level, for inverse cropping
+}
+
+type wh struct{ w, h int }
+
+// ErrBadLevels reports an unusable decomposition depth.
+var ErrBadLevels = errors.New("wavelet: levels must be >= 1 and leave subbands of at least 2x2")
+
+// MaxLevels returns the deepest decomposition usable for a w x h frame
+// (every level's padded input must be at least 4 samples in each
+// dimension).
+func MaxLevels(w, h int) int {
+	levels := 0
+	for {
+		pw, ph := w+w%2, h+h%2
+		if pw < 4 || ph < 4 {
+			return levels
+		}
+		levels++
+		w, h = pw/2, ph/2
+	}
+}
+
+// Forward2D decomposes img over the given number of levels. rowBanks and
+// colBanks supply the per-level filter banks (index 0 = level 1); both must
+// have at least `levels` entries. Odd dimensions are handled by edge
+// replication to the next even size, and the original size is recorded so
+// Inverse2D reconstructs the exact input dimensions.
+func Forward2D(x *Xfm, rowBanks, colBanks []*Bank, img *frame.Frame, levels int) (*Decomp, error) {
+	if levels < 1 || levels > MaxLevels(img.W, img.H) {
+		return nil, fmt.Errorf("%w: levels=%d for %dx%d (max %d)", ErrBadLevels, levels, img.W, img.H, MaxLevels(img.W, img.H))
+	}
+	if len(rowBanks) < levels || len(colBanks) < levels {
+		return nil, fmt.Errorf("wavelet.Forward2D: need %d banks per dimension, have %d/%d", levels, len(rowBanks), len(colBanks))
+	}
+	d := &Decomp{
+		RowBanks: rowBanks[:levels],
+		ColBanks: colBanks[:levels],
+		Levels:   make([]Bands, levels),
+		sizes:    make([]wh, levels),
+	}
+	cur := img
+	for lv := 0; lv < levels; lv++ {
+		d.sizes[lv] = wh{cur.W, cur.H}
+		ll, bands := forwardLevel(x, rowBanks[lv], colBanks[lv], cur)
+		d.Levels[lv] = bands
+		cur = ll
+	}
+	d.LL = cur
+	return d, nil
+}
+
+// forwardLevel performs one separable analysis level, returning the LL
+// subband and the three detail subbands.
+func forwardLevel(x *Xfm, rowBank, colBank *Bank, img *frame.Frame) (*frame.Frame, Bands) {
+	p := padEven(x, img)
+	w, h := p.W, p.H
+	mw, mh := w/2, h/2
+
+	// Horizontal pass: each row splits into lo (left half) and hi (right).
+	rowOut := frame.New(w, h)
+	for y := 0; y < h; y++ {
+		row := p.Row(y)
+		out := rowOut.Row(y)
+		x.Analyze1D(rowBank, row, out[:mw], out[mw:])
+	}
+
+	// Vertical pass on each column of both halves.
+	ll := frame.New(mw, mh)
+	hl := frame.New(mw, mh)
+	lh := frame.New(mw, mh)
+	hh := frame.New(mw, mh)
+	col := growCol(x, h)
+	for cx := 0; cx < w; cx++ {
+		for y := 0; y < h; y++ {
+			col[y] = rowOut.Pix[y*w+cx]
+		}
+		x.chargeCPU(h)
+		lo, hi := x.Analyze1D(colBank, col, x.lo, x.hi)
+		x.lo, x.hi = lo, hi
+		if cx < mw {
+			for y := 0; y < mh; y++ {
+				ll.Pix[y*mw+cx] = lo[y]
+				lh.Pix[y*mw+cx] = hi[y]
+			}
+		} else {
+			for y := 0; y < mh; y++ {
+				hl.Pix[y*mw+cx-mw] = lo[y]
+				hh.Pix[y*mw+cx-mw] = hi[y]
+			}
+		}
+		x.chargeCPU(h)
+	}
+	return ll, Bands{HL: hl, LH: lh, HH: hh}
+}
+
+// Inverse2D reconstructs the frame from a decomposition.
+func Inverse2D(x *Xfm, d *Decomp) (*frame.Frame, error) {
+	if len(d.Levels) == 0 || d.LL == nil {
+		return nil, errors.New("wavelet.Inverse2D: empty decomposition")
+	}
+	cur := d.LL
+	for lv := len(d.Levels) - 1; lv >= 0; lv-- {
+		b := d.Levels[lv]
+		if !cur.SameSize(b.HL) || !cur.SameSize(b.LH) || !cur.SameSize(b.HH) {
+			return nil, fmt.Errorf("wavelet.Inverse2D: level %d subband size mismatch", lv+1)
+		}
+		cur = inverseLevel(x, d.RowBanks[lv], d.ColBanks[lv], cur, b, d.sizes[lv])
+	}
+	return cur, nil
+}
+
+// inverseLevel undoes one analysis level and crops to the recorded size.
+func inverseLevel(x *Xfm, rowBank, colBank *Bank, ll *frame.Frame, b Bands, orig wh) *frame.Frame {
+	mw, mh := ll.W, ll.H
+	w, h := 2*mw, 2*mh
+
+	// Vertical synthesis into the two half-width planes.
+	rowOut := frame.New(w, h)
+	loCol := growCol(x, mh)
+	hiCol := make([]float32, mh)
+	for cx := 0; cx < mw; cx++ {
+		for y := 0; y < mh; y++ {
+			loCol[y] = ll.Pix[y*mw+cx]
+			hiCol[y] = b.LH.Pix[y*mw+cx]
+		}
+		x.chargeCPU(2 * mh)
+		x.y2 = x.Synthesize1D(colBank, loCol, hiCol, x.y2)
+		for y := 0; y < h; y++ {
+			rowOut.Pix[y*w+cx] = x.y2[y]
+		}
+		x.chargeCPU(h)
+	}
+	for cx := 0; cx < mw; cx++ {
+		for y := 0; y < mh; y++ {
+			loCol[y] = b.HL.Pix[y*mw+cx]
+			hiCol[y] = b.HH.Pix[y*mw+cx]
+		}
+		x.chargeCPU(2 * mh)
+		x.y2 = x.Synthesize1D(colBank, loCol, hiCol, x.y2)
+		for y := 0; y < h; y++ {
+			rowOut.Pix[y*w+cx+mw] = x.y2[y]
+		}
+		x.chargeCPU(h)
+	}
+
+	// Horizontal synthesis row by row.
+	out := frame.New(w, h)
+	for y := 0; y < h; y++ {
+		row := rowOut.Row(y)
+		x.y2 = x.Synthesize1D(rowBank, row[:mw], row[mw:], x.y2)
+		copy(out.Row(y), x.y2)
+		x.chargeCPU(w)
+	}
+
+	if orig.w == w && orig.h == h {
+		return out
+	}
+	cropped, err := out.SubFrame(0, 0, orig.w, orig.h)
+	if err != nil {
+		panic("wavelet: internal crop error: " + err.Error())
+	}
+	return cropped
+}
+
+// padEven returns img extended to even dimensions by edge replication (a
+// no-op clone-free pass-through when already even).
+func padEven(x *Xfm, img *frame.Frame) *frame.Frame {
+	if img.W%2 == 0 && img.H%2 == 0 {
+		return img
+	}
+	w, h := img.W+img.W%2, img.H+img.H%2
+	p := frame.New(w, h)
+	for y := 0; y < h; y++ {
+		sy := y
+		if sy >= img.H {
+			sy = img.H - 1
+		}
+		dst := p.Row(y)
+		copy(dst, img.Row(sy))
+		if w > img.W {
+			dst[w-1] = dst[img.W-1]
+		}
+	}
+	x.chargeCPU(w * h)
+	return p
+}
+
+func growCol(x *Xfm, n int) []float32 {
+	x.col = grow(x.col, n)
+	return x.col
+}
+
+// Mosaic renders the classic subband layout picture (Fig. 1 of the paper):
+// detail subbands framed around the recursively divided LL quadrant. Each
+// subband is amplitude-normalized independently for visibility.
+func (d *Decomp) Mosaic() *frame.Frame {
+	if len(d.Levels) == 0 {
+		return frame.New(0, 0)
+	}
+	w := d.Levels[0].HL.W * 2
+	h := d.Levels[0].HL.H * 2
+	out := frame.New(w, h)
+	for _, b := range d.Levels {
+		placeNormalized(out, b.HL, b.HL.W, 0)
+		placeNormalized(out, b.LH, 0, b.LH.H)
+		placeNormalized(out, b.HH, b.HH.W, b.HH.H)
+	}
+	placeNormalized(out, d.LL, 0, 0)
+	return out
+}
+
+func placeNormalized(dst, src *frame.Frame, x0, y0 int) {
+	s := src.Clone()
+	s.Normalize()
+	for y := 0; y < s.H && y0+y < dst.H; y++ {
+		for x := 0; x < s.W && x0+x < dst.W; x++ {
+			dst.Set(x0+x, y0+y, s.At(x, y))
+		}
+	}
+}
+
+// BandEnergy returns the mean squared coefficient value of a frame, used
+// by the subband inspection tool.
+func BandEnergy(f *frame.Frame) float64 {
+	var s float64
+	for _, v := range f.Pix {
+		s += float64(v) * float64(v)
+	}
+	if len(f.Pix) == 0 {
+		return 0
+	}
+	return s / float64(len(f.Pix))
+}

@@ -1,0 +1,198 @@
+package wavelet
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"zynqfusion/internal/frame"
+	"zynqfusion/internal/signal"
+)
+
+func randomFrame(rng *rand.Rand, w, h int) *frame.Frame {
+	f := frame.New(w, h)
+	for i := range f.Pix {
+		f.Pix[i] = float32(rng.Intn(256))
+	}
+	return f
+}
+
+func banksN(b *Bank, n int) []*Bank {
+	out := make([]*Bank, n)
+	for i := range out {
+		out[i] = b
+	}
+	return out
+}
+
+func TestForward2DSubbandSizes(t *testing.T) {
+	xf := NewXfm(signal.RefKernel{})
+	img := randomFrame(rand.New(rand.NewSource(1)), 88, 72)
+	d, err := Forward2D(xf, banksN(LeGall53, 3), banksN(LeGall53, 3), img, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantW, wantH := []int{44, 22, 11}, []int{36, 18, 9}
+	for lv, b := range d.Levels {
+		if b.HL.W != wantW[lv] || b.HL.H != wantH[lv] {
+			t.Errorf("level %d: HL %dx%d, want %dx%d", lv+1, b.HL.W, b.HL.H, wantW[lv], wantH[lv])
+		}
+	}
+	if d.LL.W != 11 || d.LL.H != 9 {
+		t.Errorf("LL %dx%d, want 11x9", d.LL.W, d.LL.H)
+	}
+}
+
+func TestDWT2DPerfectReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	xf := NewXfm(signal.RefKernel{})
+	sizes := []struct{ w, h, lv int }{
+		{88, 72, 3}, {64, 48, 3}, {40, 40, 3}, {32, 24, 3}, {16, 16, 2},
+	}
+	for _, b := range []*Bank{LeGall53, CDF97, Daub4} {
+		for _, s := range sizes {
+			img := randomFrame(rng, s.w, s.h)
+			d, err := Forward2D(xf, banksN(b, s.lv), banksN(b, s.lv), img, s.lv)
+			if err != nil {
+				t.Fatalf("%s %dx%d: %v", b.Name, s.w, s.h, err)
+			}
+			rec, err := Inverse2D(xf, d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			e, err := frame.MaxAbsDiff(img, rec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if e > 5e-2 {
+				t.Errorf("%s %dx%dx%d: max error %g", b.Name, s.w, s.h, s.lv, e)
+			}
+		}
+	}
+}
+
+func TestDWT2DOddSizes(t *testing.T) {
+	// The paper's 35x35 test frames have odd dimensions; edge replication
+	// must preserve perfect reconstruction and the original size.
+	rng := rand.New(rand.NewSource(3))
+	xf := NewXfm(signal.RefKernel{})
+	for _, s := range []struct{ w, h int }{{35, 35}, {33, 24}, {40, 27}, {11, 9}} {
+		img := randomFrame(rng, s.w, s.h)
+		lv := MaxLevels(s.w, s.h)
+		if lv > 3 {
+			lv = 3
+		}
+		d, err := Forward2D(xf, banksN(CDF97, lv), banksN(CDF97, lv), img, lv)
+		if err != nil {
+			t.Fatalf("%dx%d: %v", s.w, s.h, err)
+		}
+		rec, err := Inverse2D(xf, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec.W != s.w || rec.H != s.h {
+			t.Fatalf("%dx%d: reconstructed %dx%d", s.w, s.h, rec.W, rec.H)
+		}
+		e, _ := frame.MaxAbsDiff(img, rec)
+		if e > 5e-2 {
+			t.Errorf("%dx%d lv=%d: max error %g", s.w, s.h, lv, e)
+		}
+	}
+}
+
+func TestMaxLevels(t *testing.T) {
+	// Edge replication at odd sizes lets decomposition continue past the
+	// first odd level: 88x72 -> 44x36 -> 22x18 -> 11x9(pad 12x10) -> 6x5
+	// (pad 6x6) -> 3x3(pad 4x4) -> stop.
+	cases := []struct{ w, h, want int }{
+		{88, 72, 6}, {32, 24, 4}, {4, 4, 1}, {3, 3, 1}, {2, 2, 0}, {1, 1, 0},
+	}
+	for _, c := range cases {
+		if got := MaxLevels(c.w, c.h); got != c.want {
+			t.Errorf("MaxLevels(%d,%d)=%d, want %d", c.w, c.h, got, c.want)
+		}
+	}
+}
+
+func TestForward2DRejectsBadLevels(t *testing.T) {
+	xf := NewXfm(signal.RefKernel{})
+	img := frame.New(16, 16)
+	if _, err := Forward2D(xf, banksN(LeGall53, 9), banksN(LeGall53, 9), img, 9); err == nil {
+		t.Error("levels=9 on 16x16 should fail")
+	}
+	if _, err := Forward2D(xf, banksN(LeGall53, 1), banksN(LeGall53, 1), img, 0); err == nil {
+		t.Error("levels=0 should fail")
+	}
+	if _, err := Forward2D(xf, banksN(LeGall53, 1), banksN(LeGall53, 1), img, 2); err == nil {
+		t.Error("insufficient banks should fail")
+	}
+}
+
+func TestDWTSubbandLayout(t *testing.T) {
+	// Fig. 1 of the paper: an image with pure horizontal frequency content
+	// concentrates energy in the HL subband (high horizontal, low
+	// vertical), and vice versa.
+	xf := NewXfm(signal.RefKernel{})
+	w, h := 64, 64
+	horiz := frame.New(w, h) // fast variation along x
+	vert := frame.New(w, h)  // fast variation along y
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			horiz.Set(x, y, float32(128+100*math.Cos(math.Pi*float64(x))))
+			vert.Set(x, y, float32(128+100*math.Cos(math.Pi*float64(y))))
+		}
+	}
+	dh, err := Forward2D(xf, banksN(CDF97, 1), banksN(CDF97, 1), horiz, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dv, err := Forward2D(xf, banksN(CDF97, 1), banksN(CDF97, 1), vert, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if BandEnergy(dh.Levels[0].HL) < 100*BandEnergy(dh.Levels[0].LH) {
+		t.Errorf("horizontal grating: HL=%g should dominate LH=%g",
+			BandEnergy(dh.Levels[0].HL), BandEnergy(dh.Levels[0].LH))
+	}
+	if BandEnergy(dv.Levels[0].LH) < 100*BandEnergy(dv.Levels[0].HL) {
+		t.Errorf("vertical grating: LH=%g should dominate HL=%g",
+			BandEnergy(dv.Levels[0].LH), BandEnergy(dv.Levels[0].HL))
+	}
+}
+
+func TestMosaicDimensions(t *testing.T) {
+	xf := NewXfm(signal.RefKernel{})
+	img := randomFrame(rand.New(rand.NewSource(4)), 64, 48)
+	d, err := Forward2D(xf, banksN(LeGall53, 2), banksN(LeGall53, 2), img, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := d.Mosaic()
+	if m.W != 64 || m.H != 48 {
+		t.Errorf("mosaic %dx%d, want 64x48", m.W, m.H)
+	}
+}
+
+func TestDecompSeparability(t *testing.T) {
+	// Linearity: DWT(a+b) = DWT(a) + DWT(b) per subband.
+	rng := rand.New(rand.NewSource(5))
+	xf := NewXfm(signal.RefKernel{})
+	a := randomFrame(rng, 32, 32)
+	b := randomFrame(rng, 32, 32)
+	sum := frame.New(32, 32)
+	for i := range sum.Pix {
+		sum.Pix[i] = a.Pix[i] + b.Pix[i]
+	}
+	da, _ := Forward2D(xf, banksN(CDF97, 2), banksN(CDF97, 2), a, 2)
+	db, _ := Forward2D(xf, banksN(CDF97, 2), banksN(CDF97, 2), b, 2)
+	ds, _ := Forward2D(xf, banksN(CDF97, 2), banksN(CDF97, 2), sum, 2)
+	for lv := range ds.Levels {
+		for i := range ds.Levels[lv].HH.Pix {
+			want := da.Levels[lv].HH.Pix[i] + db.Levels[lv].HH.Pix[i]
+			got := ds.Levels[lv].HH.Pix[i]
+			if math.Abs(float64(got-want)) > 0.3 {
+				t.Fatalf("level %d HH[%d]: %g != %g", lv+1, i, got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package wavelet
+
+import (
+	"zynqfusion/internal/signal"
+)
+
+// cpuCharger is implemented by kernels that model the cost of
+// unaccelerated "structure" work (padding, gathers, reordering) executed by
+// the ARM core in every configuration. Kernels without the hook (e.g. the
+// pure reference kernel) simply run cost-free.
+type cpuCharger interface {
+	ChargeCPU(samples int)
+}
+
+// Xfm performs 1-D analysis/synthesis passes with a given kernel, reusing
+// scratch buffers across calls. It is not safe for concurrent use; create
+// one Xfm per goroutine.
+type Xfm struct {
+	K       signal.Kernel
+	px      []float32
+	plo     []float32
+	phi     []float32
+	y       []float32
+	y2      []float32
+	col     []float32
+	lo, hi  []float32
+	charger cpuCharger
+}
+
+// NewXfm returns a transformer driving the given kernel.
+func NewXfm(k signal.Kernel) *Xfm {
+	x := &Xfm{K: k}
+	x.charger, _ = k.(cpuCharger)
+	return x
+}
+
+func (x *Xfm) chargeCPU(samples int) {
+	if x.charger != nil {
+		x.charger.ChargeCPU(samples)
+	}
+}
+
+// Analyze1D decomposes an even-length signal into lo and hi subbands of
+// half length using bank b. dstLo and dstHi may be nil or reused slices.
+func (x *Xfm) Analyze1D(b *Bank, in []float32, dstLo, dstHi []float32) (lo, hi []float32) {
+	n := len(in)
+	if n == 0 || n%2 != 0 {
+		panic("wavelet.Analyze1D: signal length must be even and nonzero")
+	}
+	m := n / 2
+	x.px = signal.PadPeriodic(in, x.px)
+	x.chargeCPU(len(x.px))
+	lo = grow(dstLo, m)
+	hi = grow(dstHi, m)
+	x.K.Analyze(&b.AL, &b.AH, x.px, lo, hi)
+	return lo, hi
+}
+
+// Synthesize1D reconstructs the signal from its subbands, compensating the
+// bank's round-trip delay so the output aligns with the analysis input.
+func (x *Xfm) Synthesize1D(b *Bank, lo, hi []float32, dst []float32) []float32 {
+	m := len(lo)
+	if len(hi) != m || m == 0 {
+		panic("wavelet.Synthesize1D: subband length mismatch")
+	}
+	n := 2 * m
+	x.plo = signal.PadPeriodicPairs(lo, x.plo)
+	x.phi = signal.PadPeriodicPairs(hi, x.phi)
+	x.chargeCPU(len(x.plo) + len(x.phi))
+	x.y = grow(x.y, n)
+	x.K.Synthesize(&b.SL, &b.SH, x.plo, x.phi, x.y)
+	dst = grow(dst, n)
+	signal.Rotate(dst, x.y, b.delay)
+	x.chargeCPU(n)
+	return dst
+}
+
+func grow(s []float32, n int) []float32 {
+	if cap(s) < n {
+		return make([]float32, n)
+	}
+	return s[:n]
+}

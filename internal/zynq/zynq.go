@@ -1,0 +1,30 @@
+// Package zynq models the fixed parameters of the paper's platform: the
+// ZYNQ XC7Z020 on a ZC702 board, with the processing system (PS, the
+// Cortex-A9 side) at its default 533 MHz and the programmable logic (PL)
+// wave engine at 100 MHz.
+package zynq
+
+import "zynqfusion/internal/sim"
+
+// Clock frequencies of the two domains (paper, section V).
+const (
+	PSHz = 533e6 // processing-system clock
+	PLHz = 100e6 // programmable-logic clock, "a single clock frequency of 100 MHz"
+)
+
+// PS returns the processing-system clock domain.
+func PS() sim.Clock { return sim.NewClock("ps", PSHz) }
+
+// PL returns the programmable-logic clock domain.
+func PL() sim.Clock { return sim.NewClock("pl", PLHz) }
+
+// Part identifies the FPGA device of the ZC702 board.
+const Part = "xc7z020clg484-1"
+
+// Device resource capacity of the XC7Z020 (Table I, "Available" column).
+const (
+	AvailRegisters = 106400
+	AvailLUTs      = 53200
+	AvailSlices    = 13300
+	AvailBUFG      = 32
+)

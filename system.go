@@ -1,0 +1,81 @@
+package zynqfusion
+
+import (
+	"fmt"
+
+	"zynqfusion/internal/bt656"
+	"zynqfusion/internal/camera"
+)
+
+// SystemConfig describes a full capture-to-display fusion system (Fig. 6/7
+// of the paper): a synthetic scene observed by a webcam and a thermal
+// camera whose stream travels the BT.656 decode path.
+type SystemConfig struct {
+	// W, H is the fusion frame geometry (default 88x72, the paper's full
+	// frame size set by the longwave sensor).
+	W, H int
+	// Seed drives the deterministic synthetic scene.
+	Seed int64
+	// Fuser options.
+	Options Options
+}
+
+// System wires cameras, capture path and fuser together.
+type System struct {
+	Scene   *camera.Scene
+	Webcam  *camera.Webcam
+	Thermal *camera.Thermal
+	Fuser   *Fuser
+}
+
+// Result is one fused step of the system.
+type Result struct {
+	Visible *Frame
+	Thermal *Frame
+	Fused   *Frame
+	Stats   Stats
+}
+
+// NewSystem builds the full system.
+func NewSystem(cfg SystemConfig) (*System, error) {
+	if cfg.W == 0 && cfg.H == 0 {
+		cfg.W, cfg.H = 88, 72
+	}
+	if cfg.W <= 0 || cfg.H <= 0 {
+		return nil, fmt.Errorf("zynqfusion: bad system geometry %dx%d", cfg.W, cfg.H)
+	}
+	cfg.Options.IncludeIO = true
+	scene := camera.NewScene(cfg.W, cfg.H, cfg.Seed)
+	thermal, err := camera.NewThermal(scene, cfg.W, cfg.H)
+	if err != nil {
+		return nil, err
+	}
+	fuser, err := New(cfg.Options)
+	if err != nil {
+		return nil, err
+	}
+	return &System{
+		Scene:   scene,
+		Webcam:  camera.NewWebcam(scene),
+		Thermal: thermal,
+		Fuser:   fuser,
+	}, nil
+}
+
+// Step advances the scene, captures both cameras and fuses the pair.
+func (s *System) Step() (Result, error) {
+	s.Scene.Advance()
+	vis := s.Webcam.Capture()
+	ir, err := s.Thermal.Capture()
+	if err != nil {
+		return Result{}, err
+	}
+	fused, st, err := s.Fuser.Fuse(vis, ir)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Visible: vis, Thermal: ir, Fused: fused, Stats: st}, nil
+}
+
+// CaptureStats exposes the BT.656 decoder statistics of the thermal path.
+func (s *System) CaptureStats() bt656.DecoderStats { return s.Thermal.Stats() }

@@ -1,0 +1,124 @@
+package zynqfusion
+
+import (
+	"fmt"
+
+	"zynqfusion/internal/engine"
+	"zynqfusion/internal/frame"
+	"zynqfusion/internal/fusion"
+	"zynqfusion/internal/pipeline"
+	"zynqfusion/internal/sched"
+	"zynqfusion/internal/sim"
+	"zynqfusion/internal/wavelet"
+)
+
+// Frame is a single-channel float32 raster; see the frame package for the
+// full method set (PGM I/O, sub-frame extraction, metrics).
+type Frame = frame.Frame
+
+// NewFrame allocates a zeroed frame.
+func NewFrame(w, h int) *Frame { return frame.New(w, h) }
+
+// LoadPGM reads a binary PGM file into a frame.
+func LoadPGM(path string) (*Frame, error) { return frame.LoadPGM(path) }
+
+// Stats is the per-fusion stage timing and energy record.
+type Stats = pipeline.StageTimes
+
+// Time and Energy are the simulated-time and energy scalars used in Stats.
+type (
+	Time   = sim.Time
+	Energy = sim.Joules
+)
+
+// Rule is a coefficient fusion rule.
+type Rule = fusion.Rule
+
+// The built-in fusion rules.
+var (
+	RuleMaxMagnitude Rule = fusion.MaxMagnitude{}
+	RuleAverage      Rule = fusion.Average{}
+	RuleWindowEnergy Rule = fusion.WindowEnergy{R: 1}
+)
+
+// EngineKind selects the execution engine for the wavelet transforms.
+type EngineKind string
+
+// Engine configurations: the paper's three fixed modes plus the adaptive
+// selectors from its conclusion.
+const (
+	EngineARM            EngineKind = "arm"
+	EngineNEON           EngineKind = "neon"
+	EngineFPGA           EngineKind = "fpga"
+	EngineAdaptive       EngineKind = "adaptive"
+	EngineAdaptiveOnline EngineKind = "adaptive-online"
+)
+
+// Options configures a Fuser.
+type Options struct {
+	// Engine selects the execution engine (default EngineAdaptive).
+	Engine EngineKind
+	// Levels is the DT-CWT decomposition depth (default 3).
+	Levels int
+	// Rule is the coefficient fusion rule (default max-magnitude).
+	Rule Rule
+	// IncludeIO charges the modeled capture and display stages in Stats
+	// (default off: transform-only accounting).
+	IncludeIO bool
+	// ManualSIMD selects hand-written NEON intrinsics over the
+	// auto-vectorized kernels when Engine is EngineNEON.
+	ManualSIMD bool
+}
+
+// Fuser fuses visible/infrared frame pairs with full simulated platform
+// accounting. It is not safe for concurrent use; create one per goroutine.
+type Fuser struct {
+	pl   *pipeline.Fuser
+	kind EngineKind
+}
+
+// New builds a Fuser.
+func New(opts Options) (*Fuser, error) {
+	if opts.Engine == "" {
+		opts.Engine = EngineAdaptive
+	}
+	eng, err := buildEngine(opts)
+	if err != nil {
+		return nil, err
+	}
+	cfg := pipeline.Config{
+		Levels:    opts.Levels,
+		Rule:      opts.Rule,
+		IncludeIO: opts.IncludeIO,
+	}
+	return &Fuser{pl: pipeline.New(eng, cfg), kind: opts.Engine}, nil
+}
+
+func buildEngine(opts Options) (engine.Engine, error) {
+	switch opts.Engine {
+	case EngineARM:
+		return engine.NewARM(), nil
+	case EngineNEON:
+		return engine.NewNEON(opts.ManualSIMD), nil
+	case EngineFPGA:
+		return engine.NewFPGA(), nil
+	case EngineAdaptive:
+		return sched.NewAdaptive(sched.Threshold{}), nil
+	case EngineAdaptiveOnline:
+		return sched.NewAdaptive(sched.NewOnline(2)), nil
+	default:
+		return nil, fmt.Errorf("zynqfusion: unknown engine %q", opts.Engine)
+	}
+}
+
+// Engine reports the configured engine kind.
+func (f *Fuser) Engine() EngineKind { return f.kind }
+
+// Fuse combines one visible/infrared frame pair into a fused frame,
+// returning the simulated stage times and energy.
+func (f *Fuser) Fuse(vis, ir *Frame) (*Frame, Stats, error) {
+	return f.pl.FuseFrames(vis, ir)
+}
+
+// MaxLevels reports the deepest usable decomposition for a frame size.
+func MaxLevels(w, h int) int { return wavelet.MaxLevels(w, h) }

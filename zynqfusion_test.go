@@ -1,0 +1,143 @@
+package zynqfusion
+
+import (
+	"math"
+	"testing"
+
+	"zynqfusion/internal/fusion"
+)
+
+func TestNewDefaultsToAdaptive(t *testing.T) {
+	f, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Engine() != EngineAdaptive {
+		t.Errorf("default engine %q, want adaptive", f.Engine())
+	}
+}
+
+func TestNewRejectsUnknownEngine(t *testing.T) {
+	if _, err := New(Options{Engine: "gpu"}); err == nil {
+		t.Error("unknown engine should fail")
+	}
+}
+
+func TestFuseAllEnginesEndToEnd(t *testing.T) {
+	sys, err := NewSystem(SystemConfig{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Step()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vis, ir := res.Visible, res.Thermal
+	for _, kind := range []EngineKind{EngineARM, EngineNEON, EngineFPGA, EngineAdaptive, EngineAdaptiveOnline} {
+		f, err := New(Options{Engine: kind})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fused, st, err := f.Fuse(vis, ir)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if fused.W != vis.W || fused.H != vis.H {
+			t.Fatalf("%s: fused %dx%d", kind, fused.W, fused.H)
+		}
+		if st.Total <= 0 || st.Energy <= 0 {
+			t.Errorf("%s: missing accounting %+v", kind, st)
+		}
+		for _, v := range fused.Pix {
+			if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+				t.Fatalf("%s: non-finite output", kind)
+			}
+		}
+	}
+}
+
+func TestFusedFrameCarriesBothBands(t *testing.T) {
+	// The fused output must contain the thermal hotspots AND the visible
+	// texture: the core demonstration of Fig. 8.
+	sys, err := NewSystem(SystemConfig{Seed: 5, Options: Options{Engine: EngineAdaptive}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Step()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hotspot transfer: at the thermal maximum the fused frame must stand
+	// clearly above its own mean (the hotspot survives fusion).
+	hotIdx := 0
+	for i, v := range res.Thermal.Pix {
+		if v > res.Thermal.Pix[hotIdx] {
+			hotIdx = i
+		}
+	}
+	hx, hy := hotIdx%res.Thermal.W, hotIdx/res.Thermal.W
+	if got, mean := float64(res.Fused.At(hx, hy)), res.Fused.Mean(); got < mean+20 {
+		t.Errorf("hotspot lost in fusion: fused %.1f at (%d,%d), mean %.1f", got, hx, hy, mean)
+	}
+	// Texture transfer: fused keeps most of the visible spatial frequency.
+	sfFused := fusion.SpatialFrequency(res.Fused)
+	sfThermal := fusion.SpatialFrequency(res.Thermal)
+	if sfFused <= sfThermal {
+		t.Errorf("fused SF %.2f should exceed thermal SF %.2f (texture must transfer)", sfFused, sfThermal)
+	}
+}
+
+func TestSystemStepSequence(t *testing.T) {
+	sys, err := NewSystem(SystemConfig{W: 64, H: 48, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := sys.Step(); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+	}
+	if st := sys.CaptureStats(); st.Frames != 3 {
+		t.Errorf("thermal path decoded %d fields, want 3", st.Frames)
+	}
+}
+
+func TestSystemValidatesGeometry(t *testing.T) {
+	if _, err := NewSystem(SystemConfig{W: -1, H: 10}); err == nil {
+		t.Error("negative geometry should fail")
+	}
+}
+
+func TestMaxLevelsExported(t *testing.T) {
+	if MaxLevels(88, 72) < 3 {
+		t.Errorf("MaxLevels(88,72)=%d, want >=3", MaxLevels(88, 72))
+	}
+}
+
+func TestRuleSelection(t *testing.T) {
+	sys, _ := NewSystem(SystemConfig{W: 48, H: 48, Seed: 2})
+	res, err := sys.Step()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fa, _ := New(Options{Engine: EngineARM, Rule: RuleMaxMagnitude})
+	fb, _ := New(Options{Engine: EngineARM, Rule: RuleAverage})
+	a, _, err := fa.Fuse(res.Visible, res.Thermal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := fb.Fuse(res.Visible, res.Thermal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a.Pix {
+		if a.Pix[i] != b.Pix[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different rules should change the output")
+	}
+}

@@ -1,0 +1,75 @@
+// Command fusiond serves a multi-stream fusion farm over HTTP: submit,
+// list and stop capture→fuse→display streams, read farm-wide metrics, and
+// fetch per-stream fused-frame snapshots.
+//
+// Usage:
+//
+//	fusiond -addr :8080
+//	fusiond -addr :8080 -budget-mw 2200 -streams 4
+//
+// API:
+//
+//	GET    /healthz
+//	GET    /metrics
+//	POST   /streams        {"w":88,"h":72,"seed":1,"engine":"adaptive","frames":0}
+//	GET    /streams
+//	GET    /streams/{id}
+//	DELETE /streams/{id}
+//	GET    /streams/{id}/snapshot.pgm
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"zynqfusion/internal/farm"
+	"zynqfusion/internal/sim"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	budgetMW := flag.Float64("budget-mw", 0, "aggregate power budget in mW (0 = unlimited)")
+	queueCap := flag.Int("queue", 4, "default per-stream capture queue depth")
+	streams := flag.Int("streams", 0, "demo streams to start at boot")
+	flag.Parse()
+
+	fm := farm.New(farm.Config{
+		PowerBudget:     sim.Watts(*budgetMW / 1e3),
+		DefaultQueueCap: *queueCap,
+	})
+	for i := 0; i < *streams; i++ {
+		if _, err := fm.Submit(farm.StreamConfig{Seed: int64(i + 1)}); err != nil {
+			fmt.Fprintln(os.Stderr, "fusiond:", err)
+			os.Exit(1)
+		}
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: farm.NewServer(fm)}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	fmt.Printf("fusiond: serving on %s (budget %s, %d streams)\n",
+		*addr, sim.Watts(*budgetMW/1e3), *streams)
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "fusiond:", err)
+			os.Exit(1)
+		}
+	case sig := <-sigCh:
+		fmt.Printf("fusiond: %s, draining\n", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+		fm.Close()
+	}
+}

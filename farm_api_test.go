@@ -1,0 +1,59 @@
+package zynqfusion
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNewRejectsNegativeLevels(t *testing.T) {
+	if _, err := New(Options{Levels: -1}); err == nil {
+		t.Fatal("negative Levels should be rejected at New")
+	}
+}
+
+func TestFuseValidatesLevelsAgainstFrameSize(t *testing.T) {
+	// 6 levels on a 32x24 frame is over-deep: MaxLevels(32, 24) < 6.
+	fuser, err := New(Options{Levels: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vis, ir := NewFrame(32, 24), NewFrame(32, 24)
+	_, _, err = fuser.Fuse(vis, ir)
+	if err == nil {
+		t.Fatal("over-deep decomposition must fail")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "MaxLevels") || !strings.Contains(msg, "Levels") {
+		t.Fatalf("error should name Options.Levels and MaxLevels, got: %v", err)
+	}
+	// A frame size deep enough for 6 levels still fuses.
+	big, big2 := NewFrame(128, 128), NewFrame(128, 128)
+	if MaxLevels(128, 128) < 6 {
+		t.Skip("test geometry cannot hold 6 levels")
+	}
+	if _, _, err := fuser.Fuse(big, big2); err != nil {
+		t.Fatalf("valid depth should fuse: %v", err)
+	}
+}
+
+func TestNewFarmEndToEnd(t *testing.T) {
+	fm := NewFarm(FarmConfig{})
+	defer fm.Close()
+	const frames = 2
+	s, err := fm.Submit(StreamConfig{W: 32, H: 24, Seed: 7, Frames: frames, QueueCap: frames})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fm.Wait()
+	tele := s.Telemetry()
+	if tele.Fused != frames {
+		t.Fatalf("fused = %d, want %d", tele.Fused, frames)
+	}
+	if tele.Stages.Energy <= 0 {
+		t.Fatal("no modeled energy accounted")
+	}
+	m := fm.Metrics()
+	if m.Aggregate.Fused != frames || len(m.Streams) != 1 {
+		t.Fatalf("metrics aggregate %+v", m.Aggregate)
+	}
+}

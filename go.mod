@@ -1,0 +1,3 @@
+module zynqfusion
+
+go 1.24

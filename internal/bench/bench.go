@@ -133,6 +133,7 @@ func All() []Experiment {
 		{ID: "ablation-cmdqueue", Title: "Ablation — future-work driver command queue", Run: RunAblationCmdQueue},
 		{ID: "ablation-fixedpoint", Title: "Ablation — Q16.16 vs float32 wave-engine datapath", Run: RunAblationFixedPoint},
 		{ID: "ablation-quality", Title: "Ablation — DWT vs DT-CWT fusion quality (section III)", Run: RunAblationQuality},
+		{ID: "farm-scale", Title: "Extension — farm scaling: throughput and J/frame vs stream count", Run: RunFarmScale},
 	}
 	sort.SliceStable(exps, func(i, j int) bool { return false }) // keep declaration order
 	return exps

@@ -1,0 +1,181 @@
+package farm
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"zynqfusion/internal/sim"
+)
+
+// Sentinel submission errors, matchable with errors.Is.
+var (
+	// ErrClosed reports a Submit on a closed farm.
+	ErrClosed = errors.New("farm: closed")
+	// ErrDuplicate reports a Submit reusing a live stream id.
+	ErrDuplicate = errors.New("farm: duplicate stream id")
+)
+
+// Config configures a Farm.
+type Config struct {
+	// PowerBudget caps the aggregate modeled board power across all
+	// streams; while granting the wave engine would exceed it, streams
+	// fall back to NEON. Zero disables the budget.
+	PowerBudget sim.Watts `json:"power_budget_watts"`
+	// DefaultQueueCap overrides the per-stream capture queue depth for
+	// streams that do not set their own (default 4).
+	DefaultQueueCap int `json:"default_queue_cap"`
+}
+
+// Farm runs many fusion streams over per-worker pipelines and a shared
+// energy governor. All methods are safe for concurrent use.
+type Farm struct {
+	cfg Config
+	gov *Governor
+
+	mu      sync.Mutex
+	streams map[string]*Stream
+	order   []string // submission order, for stable listings
+	nextID  int64
+	closed  bool
+}
+
+// New builds an empty farm.
+func New(cfg Config) *Farm {
+	return &Farm{
+		cfg:     cfg,
+		gov:     NewGovernor(cfg.PowerBudget),
+		streams: make(map[string]*Stream),
+	}
+}
+
+// Governor exposes the shared arbiter (read-mostly: stats and spans).
+func (f *Farm) Governor() *Governor { return f.gov }
+
+// Submit validates, registers and starts a stream.
+func (f *Farm) Submit(cfg StreamConfig) (*Stream, error) {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if cfg.QueueCap <= 0 && f.cfg.DefaultQueueCap > 0 {
+		cfg.QueueCap = f.cfg.DefaultQueueCap
+	}
+	if cfg.ID == "" {
+		// Skip over user-chosen ids that happen to look like ours.
+		for {
+			f.nextID++
+			cfg.ID = fmt.Sprintf("s%d", f.nextID)
+			if _, taken := f.streams[cfg.ID]; !taken {
+				break
+			}
+		}
+	}
+	if _, dup := f.streams[cfg.ID]; dup {
+		f.mu.Unlock()
+		return nil, fmt.Errorf("%w: %q", ErrDuplicate, cfg.ID)
+	}
+	s, err := newStream(cfg, f.gov)
+	if err != nil {
+		f.mu.Unlock()
+		return nil, err
+	}
+	f.streams[cfg.ID] = s
+	f.order = append(f.order, cfg.ID)
+	f.mu.Unlock()
+	s.start()
+	return s, nil
+}
+
+// Get returns a stream by id.
+func (f *Farm) Get(id string) (*Stream, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s, ok := f.streams[id]
+	return s, ok
+}
+
+// List returns the streams in submission order.
+func (f *Farm) List() []*Stream {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]*Stream, 0, len(f.order))
+	for _, id := range f.order {
+		out = append(out, f.streams[id])
+	}
+	return out
+}
+
+// Stop stops one stream (and waits for its worker to exit).
+func (f *Farm) Stop(id string) error {
+	s, ok := f.Get(id)
+	if !ok {
+		return fmt.Errorf("farm: no stream %q", id)
+	}
+	s.Stop()
+	<-s.Done()
+	return nil
+}
+
+// Wait blocks until every currently-submitted stream has finished.
+// Unbounded streams must be stopped first.
+func (f *Farm) Wait() {
+	for _, s := range f.List() {
+		<-s.Done()
+	}
+}
+
+// Close stops every stream and refuses further submissions.
+func (f *Farm) Close() {
+	f.mu.Lock()
+	f.closed = true
+	f.mu.Unlock()
+	for _, s := range f.List() {
+		s.Stop()
+	}
+	f.Wait()
+}
+
+// Metrics snapshots the whole farm: per-stream telemetry sorted by id,
+// the aggregate rollup, and the governor's view.
+func (f *Farm) Metrics() Metrics {
+	streams := f.List()
+	teles := make([]StreamTelemetry, len(streams))
+	for i, s := range streams {
+		teles[i] = s.Telemetry()
+	}
+	sort.Slice(teles, func(i, j int) bool { return teles[i].ID < teles[j].ID })
+
+	var agg AggregateTelemetry
+	agg.Streams = len(teles)
+	for _, t := range teles {
+		if t.Running {
+			agg.Active++
+		}
+		agg.Captured += t.Captured
+		agg.Fused += t.Fused
+		agg.Dropped += t.Dropped
+		agg.Busy += t.Stages.Total
+		if t.Stages.Total > agg.WallTime {
+			agg.WallTime = t.Stages.Total
+		}
+		agg.Energy += t.Stages.Energy
+	}
+	if agg.Fused > 0 {
+		agg.EnergyPerFrame = agg.Energy / sim.Joules(agg.Fused)
+	}
+	if agg.WallTime > 0 {
+		agg.FusedPerSecond = float64(agg.Fused) / agg.WallTime.Seconds()
+	}
+	gov := f.gov.Stats()
+	// The governor's ledger is the single source of truth for the farm's
+	// current board draw; the rollup copies it rather than re-deriving.
+	agg.AggregatePower = gov.AggregatePower
+	return Metrics{
+		Streams:   teles,
+		Aggregate: agg,
+		Governor:  gov,
+	}
+}

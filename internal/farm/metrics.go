@@ -1,0 +1,105 @@
+package farm
+
+import (
+	"zynqfusion/internal/pipeline"
+	"zynqfusion/internal/sim"
+)
+
+// StageTimesJSON is the JSON shape of a pipeline.StageTimes record:
+// stage spans in modeled picoseconds plus the drained energy in joules.
+type StageTimesJSON struct {
+	Capture sim.Time   `json:"capture_ps"`
+	Forward sim.Time   `json:"forward_ps"`
+	Fuse    sim.Time   `json:"fuse_ps"`
+	Inverse sim.Time   `json:"inverse_ps"`
+	Display sim.Time   `json:"display_ps"`
+	Total   sim.Time   `json:"total_ps"`
+	Energy  sim.Joules `json:"energy_joules"`
+}
+
+func stageJSON(st pipeline.StageTimes) StageTimesJSON {
+	return StageTimesJSON{
+		Capture: st.Capture,
+		Forward: st.Forward,
+		Fuse:    st.Fuse,
+		Inverse: st.Inverse,
+		Display: st.Display,
+		Total:   st.Total,
+		Energy:  st.Energy,
+	}
+}
+
+// StreamTelemetry is one stream's accumulated record.
+type StreamTelemetry struct {
+	ID     string `json:"id"`
+	Engine string `json:"engine"`
+	W      int    `json:"w"`
+	H      int    `json:"h"`
+	Levels int    `json:"levels"`
+
+	// Running is false once the stream finished or was stopped.
+	Running bool `json:"running"`
+
+	// Frame counters: Captured pairs produced by the source, Fused pairs
+	// completed, Dropped pairs evicted by backpressure or shutdown.
+	Captured   int64 `json:"captured"`
+	Fused      int64 `json:"fused"`
+	Dropped    int64 `json:"dropped"`
+	QueueDepth int   `json:"queue_depth"`
+
+	// Stages accumulates modeled stage times and energy over every fused
+	// frame.
+	Stages StageTimesJSON `json:"stages"`
+
+	// EnergyPerFrame is Stages.Energy / Fused (modeled J per fused frame).
+	EnergyPerFrame sim.Joules `json:"energy_per_frame_joules"`
+	// MeanPower is Stages.Energy / Stages.Total.
+	MeanPower sim.Watts `json:"mean_power_watts"`
+	// FusedPerSecond is the modeled throughput: Fused / Stages.Total.
+	FusedPerSecond float64 `json:"fused_per_second"`
+
+	// Routed row statistics from the adaptive engine, keyed by engine
+	// name ("arm", "neon", "fpga").
+	RoutedRows map[string]int64    `json:"routed_rows"`
+	RoutedTime map[string]sim.Time `json:"routed_time_ps"`
+	// FPGAShare is the fraction of routed kernel time spent on the wave
+	// engine.
+	FPGAShare float64 `json:"fpga_share"`
+
+	// FPGAGrants and FPGADenials count this stream's frame-level lease
+	// outcomes.
+	FPGAGrants  int64 `json:"fpga_grants"`
+	FPGADenials int64 `json:"fpga_denials"`
+
+	// Err records a terminal stream error, if any.
+	Err string `json:"error,omitempty"`
+}
+
+// AggregateTelemetry is the farm-wide rollup.
+type AggregateTelemetry struct {
+	Streams  int   `json:"streams"`
+	Active   int   `json:"active"`
+	Captured int64 `json:"captured"`
+	Fused    int64 `json:"fused"`
+	Dropped  int64 `json:"dropped"`
+
+	// Busy sums every stream's pipeline time; WallTime is the farm's
+	// modeled makespan (streams run in parallel, so it is the max).
+	Busy     sim.Time `json:"busy_ps"`
+	WallTime sim.Time `json:"wall_ps"`
+
+	Energy         sim.Joules `json:"energy_joules"`
+	EnergyPerFrame sim.Joules `json:"energy_per_frame_joules"`
+	// FusedPerSecond is modeled farm throughput: Fused / WallTime.
+	FusedPerSecond float64 `json:"fused_per_second"`
+	// AggregatePower is the sum of the still-running streams' mean
+	// powers — the farm's current modeled board draw.
+	AggregatePower sim.Watts `json:"aggregate_power_watts"`
+}
+
+// Metrics is the full farm snapshot served by /metrics.
+type Metrics struct {
+	Streams   []StreamTelemetry  `json:"streams"`
+	Aggregate AggregateTelemetry `json:"aggregate"`
+	Governor  GovernorStats      `json:"governor"`
+}

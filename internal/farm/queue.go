@@ -1,0 +1,92 @@
+package farm
+
+import (
+	"sync"
+
+	"zynqfusion/internal/frame"
+)
+
+// framePair is one captured visible/infrared pair waiting to be fused.
+type framePair struct {
+	vis, ir *frame.Frame
+	seq     int64
+}
+
+// frameQueue is a bounded FIFO of captured frame pairs with a drop-oldest
+// overflow policy: a capture source never blocks on a slow fuser, it
+// evicts the stalest queued pair instead — the behavior of a real capture
+// FIFO that overwrites unconsumed frames. Safe for concurrent use.
+type frameQueue struct {
+	mu       sync.Mutex
+	nonEmpty *sync.Cond
+	buf      []framePair
+	cap      int
+	closed   bool
+	dropped  int64
+}
+
+func newFrameQueue(capacity int) *frameQueue {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	q := &frameQueue{cap: capacity}
+	q.nonEmpty = sync.NewCond(&q.mu)
+	return q
+}
+
+// Push enqueues p, evicting the oldest pair when full. It reports whether
+// an eviction happened. Pushing to a closed queue drops p silently (the
+// consumer is gone).
+func (q *frameQueue) Push(p framePair) (evicted bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		q.dropped++
+		return true
+	}
+	if len(q.buf) >= q.cap {
+		q.buf = q.buf[1:]
+		q.dropped++
+		evicted = true
+	}
+	q.buf = append(q.buf, p)
+	q.nonEmpty.Signal()
+	return evicted
+}
+
+// Pop blocks until a pair is available or the queue is closed and empty.
+func (q *frameQueue) Pop() (framePair, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.buf) == 0 && !q.closed {
+		q.nonEmpty.Wait()
+	}
+	if len(q.buf) == 0 {
+		return framePair{}, false
+	}
+	p := q.buf[0]
+	q.buf = q.buf[1:]
+	return p, true
+}
+
+// Close wakes any blocked Pop; buffered pairs remain poppable.
+func (q *frameQueue) Close() {
+	q.mu.Lock()
+	q.closed = true
+	q.nonEmpty.Broadcast()
+	q.mu.Unlock()
+}
+
+// Len reports the current depth.
+func (q *frameQueue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.buf)
+}
+
+// Dropped reports the eviction count.
+func (q *frameQueue) Dropped() int64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.dropped
+}

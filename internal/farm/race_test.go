@@ -1,0 +1,132 @@
+package farm
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// TestFarmStressConcurrentStreams drives ≥8 streams concurrently while
+// hammering the telemetry surfaces from other goroutines. Run under
+// `go test -race` it is the subsystem's data-race proof; its assertions
+// check the two farm invariants: FPGA exclusivity (granted spans never
+// overlap across streams on the shared timeline) and energy conservation
+// (farm aggregate == sum of per-stream drained energy == governor ledger).
+func TestFarmStressConcurrentStreams(t *testing.T) {
+	const streams, frames = 12, 3
+	fm := New(Config{})
+	for i := 0; i < streams; i++ {
+		engine := "adaptive"
+		switch i % 4 {
+		case 1:
+			engine = "fpga"
+		case 2:
+			engine = "neon"
+		case 3:
+			engine = "adaptive-online"
+		}
+		if _, err := fm.Submit(StreamConfig{
+			W: 32, H: 24, Seed: int64(i + 1),
+			Engine: engine, Frames: frames, QueueCap: 2,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Concurrent readers: metrics, listings, snapshots, governor stats.
+	stopPoll := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stopPoll:
+					return
+				default:
+				}
+				m := fm.Metrics()
+				if m.Aggregate.Streams != streams {
+					t.Errorf("metrics sees %d streams", m.Aggregate.Streams)
+					return
+				}
+				for _, s := range fm.List() {
+					s.Telemetry()
+					s.Snapshot()
+				}
+				fm.Governor().Stats()
+				fm.Governor().Spans()
+			}
+		}()
+	}
+
+	fm.Wait()
+	close(stopPoll)
+	wg.Wait()
+
+	// Invariant 1: FPGA exclusivity — spans on the shared timeline are
+	// strictly ordered, never overlapping, each attributed to one stream.
+	spans := fm.Governor().Spans()
+	for i, sp := range spans {
+		if sp.End < sp.Start || sp.Stream == "" {
+			t.Fatalf("malformed span %+v", sp)
+		}
+		if i > 0 && sp.Start < spans[i-1].End {
+			t.Fatalf("FPGA spans overlap: %+v then %+v", spans[i-1], sp)
+		}
+	}
+
+	// Invariant 2: energy conservation across the three ledgers.
+	m := fm.Metrics()
+	var sum float64
+	var fused int64
+	for _, s := range m.Streams {
+		if s.Err != "" {
+			t.Fatalf("stream %s failed: %s", s.ID, s.Err)
+		}
+		sum += float64(s.Stages.Energy)
+		fused += s.Fused
+	}
+	if fused+m.Aggregate.Dropped != m.Aggregate.Captured {
+		t.Fatalf("frame conservation: fused %d + dropped %d != captured %d",
+			fused, m.Aggregate.Dropped, m.Aggregate.Captured)
+	}
+	if sum <= 0 {
+		t.Fatal("no energy accounted")
+	}
+	if rel := math.Abs(sum-float64(m.Aggregate.Energy)) / sum; rel > 1e-12 {
+		t.Fatalf("aggregate energy %v != per-stream sum %v", m.Aggregate.Energy, sum)
+	}
+	_, govEnergy := fm.Governor().Totals()
+	if rel := math.Abs(sum-float64(govEnergy)) / sum; rel > 1e-12 {
+		t.Fatalf("governor energy %v != per-stream sum %v", govEnergy, sum)
+	}
+
+	fm.Close()
+}
+
+// TestFarmBackpressureDropsOldest forces a slow consumer by flooding a
+// depth-1 queue and checks that drops are counted and the stream still
+// finishes cleanly.
+func TestFarmBackpressureDropsOldest(t *testing.T) {
+	fm := New(Config{})
+	s, err := fm.Submit(StreamConfig{
+		W: 88, H: 72, Frames: 8, QueueCap: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fm.Wait()
+	tele := s.Telemetry()
+	if tele.Captured != 8 {
+		t.Fatalf("captured = %d, want 8", tele.Captured)
+	}
+	if tele.Fused+tele.Dropped != tele.Captured {
+		t.Fatalf("fused %d + dropped %d != captured %d", tele.Fused, tele.Dropped, tele.Captured)
+	}
+	if tele.Fused == 0 {
+		t.Fatal("nothing fused")
+	}
+	fm.Close()
+}

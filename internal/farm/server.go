@@ -1,0 +1,107 @@
+package farm
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+)
+
+// NewServer returns the fusiond HTTP handler over a farm.
+//
+//	GET    /healthz                   liveness probe
+//	GET    /metrics                   full farm Metrics JSON
+//	POST   /streams                   submit a stream (StreamConfig JSON body)
+//	GET    /streams                   list stream telemetry
+//	GET    /streams/{id}              one stream's telemetry
+//	DELETE /streams/{id}              stop a stream
+//	GET    /streams/{id}/snapshot.pgm latest fused frame as binary PGM
+func NewServer(f *Farm) http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte("ok\n"))
+	})
+
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, f.Metrics())
+	})
+
+	mux.HandleFunc("POST /streams", func(w http.ResponseWriter, r *http.Request) {
+		var cfg StreamConfig
+		if err := json.NewDecoder(r.Body).Decode(&cfg); err != nil {
+			writeError(w, http.StatusBadRequest, "bad stream config: "+err.Error())
+			return
+		}
+		s, err := f.Submit(cfg)
+		if err != nil {
+			status := http.StatusBadRequest
+			switch {
+			case errors.Is(err, ErrClosed):
+				status = http.StatusServiceUnavailable
+			case errors.Is(err, ErrDuplicate):
+				status = http.StatusConflict
+			}
+			writeError(w, status, err.Error())
+			return
+		}
+		writeJSON(w, http.StatusCreated, s.Telemetry())
+	})
+
+	mux.HandleFunc("GET /streams", func(w http.ResponseWriter, r *http.Request) {
+		m := f.Metrics()
+		writeJSON(w, http.StatusOK, m.Streams)
+	})
+
+	mux.HandleFunc("GET /streams/{id}", func(w http.ResponseWriter, r *http.Request) {
+		s, ok := f.Get(r.PathValue("id"))
+		if !ok {
+			writeError(w, http.StatusNotFound, "no such stream")
+			return
+		}
+		writeJSON(w, http.StatusOK, s.Telemetry())
+	})
+
+	mux.HandleFunc("DELETE /streams/{id}", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		if err := f.Stop(id); err != nil {
+			writeError(w, http.StatusNotFound, err.Error())
+			return
+		}
+		s, _ := f.Get(id)
+		writeJSON(w, http.StatusOK, s.Telemetry())
+	})
+
+	mux.HandleFunc("GET /streams/{id}/snapshot.pgm", func(w http.ResponseWriter, r *http.Request) {
+		s, ok := f.Get(r.PathValue("id"))
+		if !ok {
+			writeError(w, http.StatusNotFound, "no such stream")
+			return
+		}
+		snap := s.Snapshot()
+		if snap == nil {
+			writeError(w, http.StatusNotFound, "no fused frame yet")
+			return
+		}
+		w.Header().Set("Content-Type", "image/x-portable-graymap")
+		if err := snap.WritePGM(w); err != nil {
+			// Headers are gone; nothing more to do than log via the
+			// server's error path.
+			return
+		}
+	})
+
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}

@@ -1,0 +1,188 @@
+package farm
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"zynqfusion/internal/frame"
+)
+
+func postStream(t *testing.T, url string, cfg StreamConfig) StreamTelemetry {
+	t.Helper()
+	body, _ := json.Marshal(cfg)
+	resp, err := http.Post(url+"/streams", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("POST /streams: status %d", resp.StatusCode)
+	}
+	var tele StreamTelemetry
+	if err := json.NewDecoder(resp.Body).Decode(&tele); err != nil {
+		t.Fatal(err)
+	}
+	return tele
+}
+
+func getJSON(t *testing.T, url string, v any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if v != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// TestFusiondServes16ConcurrentStreams is the acceptance test: 16 streams
+// submitted concurrently over HTTP, all fused end-to-end, with metrics,
+// snapshots and stream lifecycle all exercised while workers run.
+func TestFusiondServes16ConcurrentStreams(t *testing.T) {
+	fm := New(Config{})
+	defer fm.Close()
+	srv := httptest.NewServer(NewServer(fm))
+	defer srv.Close()
+
+	const streams, frames = 16, 3
+	var wg sync.WaitGroup
+	for i := 0; i < streams; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tele := postStream(t, srv.URL, StreamConfig{
+				ID: fmt.Sprintf("cam%02d", i), W: 32, H: 24,
+				Seed: int64(i + 1), Frames: frames, QueueCap: frames,
+			})
+			if tele.ID != fmt.Sprintf("cam%02d", i) {
+				t.Errorf("submitted id %q", tele.ID)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	// Poll /metrics until every stream finished.
+	deadline := time.Now().Add(30 * time.Second)
+	var m Metrics
+	for {
+		if code := getJSON(t, srv.URL+"/metrics", &m); code != http.StatusOK {
+			t.Fatalf("/metrics status %d", code)
+		}
+		if m.Aggregate.Streams == streams && m.Aggregate.Active == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("streams never finished: %+v", m.Aggregate)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if m.Aggregate.Fused != streams*frames {
+		t.Fatalf("fused = %d, want %d", m.Aggregate.Fused, streams*frames)
+	}
+	if m.Aggregate.Energy <= 0 || m.Aggregate.EnergyPerFrame <= 0 {
+		t.Fatalf("metrics missing energy: %+v", m.Aggregate)
+	}
+	if m.Governor.Grants == 0 {
+		t.Fatal("governor never granted the FPGA")
+	}
+
+	// Per-stream endpoints.
+	var tele StreamTelemetry
+	if code := getJSON(t, srv.URL+"/streams/cam00", &tele); code != http.StatusOK {
+		t.Fatalf("GET stream status %d", code)
+	}
+	if tele.Fused != frames || tele.RoutedRows == nil {
+		t.Fatalf("stream telemetry incomplete: %+v", tele)
+	}
+
+	// Snapshot round-trips as a valid PGM at the stream geometry.
+	resp, err := http.Get(srv.URL + "/streams/cam00/snapshot.pgm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("snapshot status %d", resp.StatusCode)
+	}
+	img, err := frame.ReadPGM(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.W != 32 || img.H != 24 {
+		t.Fatalf("snapshot %dx%d, want 32x24", img.W, img.H)
+	}
+
+	// Listing covers all streams.
+	var list []StreamTelemetry
+	if code := getJSON(t, srv.URL+"/streams", &list); code != http.StatusOK || len(list) != streams {
+		t.Fatalf("GET /streams: code %d, %d entries", code, len(list))
+	}
+}
+
+func TestFusiondLifecycleAndErrors(t *testing.T) {
+	fm := New(Config{})
+	defer fm.Close()
+	srv := httptest.NewServer(NewServer(fm))
+	defer srv.Close()
+
+	if code := getJSON(t, srv.URL+"/healthz", nil); code != http.StatusOK {
+		t.Fatalf("healthz status %d", code)
+	}
+
+	// Unknown stream endpoints 404.
+	if code := getJSON(t, srv.URL+"/streams/nope", nil); code != http.StatusNotFound {
+		t.Fatalf("missing stream status %d", code)
+	}
+	if code := getJSON(t, srv.URL+"/streams/nope/snapshot.pgm", nil); code != http.StatusNotFound {
+		t.Fatalf("missing snapshot status %d", code)
+	}
+
+	// Invalid config 400s.
+	resp, err := http.Post(srv.URL+"/streams", "application/json",
+		bytes.NewReader([]byte(`{"engine":"gpu"}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad engine status %d", resp.StatusCode)
+	}
+
+	// Submit an unbounded stream, then DELETE stops it.
+	postStream(t, srv.URL, StreamConfig{ID: "live", W: 32, H: 24, IntervalMS: 1})
+	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/streams/live", nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tele StreamTelemetry
+	if err := json.NewDecoder(dresp.Body).Decode(&tele); err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusOK || tele.Running {
+		t.Fatalf("DELETE: status %d, running=%v", dresp.StatusCode, tele.Running)
+	}
+
+	// Duplicate id conflicts.
+	body, _ := json.Marshal(StreamConfig{ID: "live", W: 32, H: 24, Frames: 1})
+	cresp, err := http.Post(srv.URL+"/streams", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cresp.Body.Close()
+	if cresp.StatusCode != http.StatusConflict {
+		t.Fatalf("duplicate id status %d", cresp.StatusCode)
+	}
+}

@@ -1,0 +1,49 @@
+package farm
+
+import (
+	"zynqfusion/internal/camera"
+	"zynqfusion/internal/frame"
+)
+
+// Source produces visible/infrared frame pairs for one stream.
+// Implementations need not be safe for concurrent use: a source is driven
+// by exactly one producer goroutine.
+type Source interface {
+	// Next captures the next pair.
+	Next() (vis, ir *frame.Frame, err error)
+}
+
+// SyntheticSource drives the repo's full modeled capture chain — the
+// deterministic scene, the RGB webcam path and the BT.656 thermal path —
+// exactly as zynqfusion.System does, one instance per stream.
+type SyntheticSource struct {
+	scene   *camera.Scene
+	webcam  *camera.Webcam
+	thermal *camera.Thermal
+}
+
+// NewSyntheticSource builds a synthetic capture chain at the given fusion
+// geometry, seeded deterministically.
+func NewSyntheticSource(w, h int, seed int64) (*SyntheticSource, error) {
+	scene := camera.NewScene(w, h, seed)
+	thermal, err := camera.NewThermal(scene, w, h)
+	if err != nil {
+		return nil, err
+	}
+	return &SyntheticSource{
+		scene:   scene,
+		webcam:  camera.NewWebcam(scene),
+		thermal: thermal,
+	}, nil
+}
+
+// Next implements Source.
+func (s *SyntheticSource) Next() (*frame.Frame, *frame.Frame, error) {
+	s.scene.Advance()
+	vis := s.webcam.Capture()
+	ir, err := s.thermal.Capture()
+	if err != nil {
+		return nil, nil, err
+	}
+	return vis, ir, nil
+}

@@ -1,0 +1,361 @@
+package farm
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"zynqfusion/internal/frame"
+	"zynqfusion/internal/fusion"
+	"zynqfusion/internal/pipeline"
+	"zynqfusion/internal/sched"
+	"zynqfusion/internal/sim"
+	"zynqfusion/internal/wavelet"
+)
+
+// StreamConfig describes one farm stream.
+type StreamConfig struct {
+	// ID names the stream; empty picks a farm-assigned "s<n>" id.
+	ID string `json:"id"`
+	// W, H is the fusion geometry (default 88x72, the paper's full frame).
+	W int `json:"w"`
+	H int `json:"h"`
+	// Seed drives the stream's deterministic synthetic scene.
+	Seed int64 `json:"seed"`
+	// Engine selects the routing policy inside the stream's adaptive
+	// engine: "adaptive" (default), "adaptive-online", or the static
+	// "arm", "neon", "fpga". Every stream runs behind the governor, so
+	// even "fpga" degrades to NEON while another stream holds the wave
+	// engine.
+	Engine string `json:"engine"`
+	// Levels is the DT-CWT decomposition depth (default 3).
+	Levels int `json:"levels"`
+	// Rule selects the fusion rule: "max" (default), "average", "window".
+	Rule string `json:"rule"`
+	// Frames bounds the stream length; 0 runs until stopped.
+	Frames int64 `json:"frames"`
+	// QueueCap is the capture queue depth before drop-oldest kicks in
+	// (default 4).
+	QueueCap int `json:"queue_cap"`
+	// IntervalMS paces the capture source in wall milliseconds. Zero
+	// free-runs bounded streams; unbounded streams default to 100 ms so a
+	// forgotten stream cannot peg the host.
+	IntervalMS int `json:"interval_ms"`
+}
+
+func (c StreamConfig) withDefaults() StreamConfig {
+	if c.W == 0 && c.H == 0 {
+		c.W, c.H = 88, 72
+	}
+	if c.Engine == "" {
+		c.Engine = "adaptive"
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = 4
+	}
+	if c.Frames == 0 && c.IntervalMS <= 0 {
+		c.IntervalMS = 100
+	}
+	return c
+}
+
+// innerPolicy maps a StreamConfig engine name to the routing policy that
+// the stream's governed adaptive engine wraps.
+func innerPolicy(engine string) (sched.Policy, error) {
+	switch engine {
+	case "adaptive":
+		return sched.Threshold{}, nil
+	case "adaptive-online":
+		return sched.NewOnline(2), nil
+	case "arm", "neon", "fpga":
+		return sched.Static{Engine: engine}, nil
+	default:
+		return nil, fmt.Errorf("farm: unknown engine %q", engine)
+	}
+}
+
+func fusionRule(name string) (fusion.Rule, error) {
+	switch name {
+	case "", "max":
+		return fusion.MaxMagnitude{}, nil
+	case "average":
+		return fusion.Average{}, nil
+	case "window":
+		return fusion.WindowEnergy{R: 1}, nil
+	default:
+		return nil, fmt.Errorf("farm: unknown fusion rule %q", name)
+	}
+}
+
+// Stream is one capture→fuse→display pipeline running inside a farm. The
+// fusion engine is confined to the stream's worker goroutine; telemetry
+// and snapshots are safe to read from anywhere.
+type Stream struct {
+	cfg  StreamConfig
+	gov  *Governor
+	gate *gate
+
+	fuser    *pipeline.Fuser
+	adaptive *sched.Adaptive
+	source   Source
+	queue    *frameQueue
+
+	wantsFPGA bool
+
+	stopOnce sync.Once
+	stopCh   chan struct{}
+	done     chan struct{}
+	stopped  atomic.Bool
+
+	mu              sync.Mutex
+	captured        int64
+	fused           int64
+	droppedShutdown int64
+	grants          int64
+	denials         int64
+	stages          pipeline.StageTimes
+	routedRows      map[string]int64
+	routedTime      map[string]int64 // sim.Time as int64 for copy ease
+	snapshot        *frame.Frame
+	err             error
+	running         bool
+}
+
+// newStream validates the configuration and builds the stream, unstarted.
+func newStream(cfg StreamConfig, gov *Governor) (*Stream, error) {
+	cfg = cfg.withDefaults()
+	if cfg.W <= 0 || cfg.H <= 0 {
+		return nil, fmt.Errorf("farm: bad stream geometry %dx%d", cfg.W, cfg.H)
+	}
+	if cfg.Levels < 0 {
+		return nil, fmt.Errorf("farm: negative decomposition level %d", cfg.Levels)
+	}
+	inner, err := innerPolicy(cfg.Engine)
+	if err != nil {
+		return nil, err
+	}
+	rule, err := fusionRule(cfg.Rule)
+	if err != nil {
+		return nil, err
+	}
+	src, err := NewSyntheticSource(cfg.W, cfg.H, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	g := &gate{}
+	ad := sched.NewAdaptive(sched.Governed{Inner: inner, Gate: g})
+	fu := pipeline.New(ad, pipeline.Config{Levels: cfg.Levels, Rule: rule, IncludeIO: true})
+	// Validate the effective depth (the pipeline defaults Levels 0 to 3),
+	// so an over-deep stream is refused at Submit, not at its first frame.
+	if levels, maxLv := fu.Config().Levels, wavelet.MaxLevels(cfg.W, cfg.H); levels > maxLv {
+		return nil, fmt.Errorf("farm: %d levels exceed wavelet.MaxLevels(%d, %d) = %d",
+			levels, cfg.W, cfg.H, maxLv)
+	}
+	s := &Stream{
+		cfg:       cfg,
+		gov:       gov,
+		gate:      g,
+		fuser:     fu,
+		adaptive:  ad,
+		source:    src,
+		queue:     newFrameQueue(cfg.QueueCap),
+		wantsFPGA: cfg.Engine != "arm" && cfg.Engine != "neon",
+		stopCh:    make(chan struct{}),
+		done:      make(chan struct{}),
+		running:   true,
+	}
+	return s, nil
+}
+
+// start launches the producer and consumer goroutines.
+func (s *Stream) start() {
+	go s.produce()
+	go s.consume()
+}
+
+// produce captures frame pairs into the bounded queue until the frame
+// budget runs out or the stream is stopped, then closes the queue.
+func (s *Stream) produce() {
+	defer s.queue.Close()
+	interval := time.Duration(s.cfg.IntervalMS) * time.Millisecond
+	for n := int64(0); s.cfg.Frames == 0 || n < s.cfg.Frames; n++ {
+		select {
+		case <-s.stopCh:
+			return
+		default:
+		}
+		vis, ir, err := s.source.Next()
+		if err != nil {
+			s.fail(fmt.Errorf("farm: capture: %w", err))
+			return
+		}
+		s.mu.Lock()
+		s.captured++
+		s.mu.Unlock()
+		s.queue.Push(framePair{vis: vis, ir: ir, seq: n})
+		if interval > 0 {
+			select {
+			case <-s.stopCh:
+				return
+			case <-time.After(interval):
+			}
+		}
+	}
+}
+
+// consume fuses queued pairs under the governor's FPGA arbitration.
+func (s *Stream) consume() {
+	defer s.finish()
+	for {
+		p, ok := s.queue.Pop()
+		if !ok {
+			return
+		}
+		if s.stopped.Load() {
+			s.mu.Lock()
+			s.droppedShutdown++
+			s.mu.Unlock()
+			continue
+		}
+		s.fuseOne(p)
+	}
+}
+
+func (s *Stream) fuseOne(p framePair) {
+	granted := false
+	if s.wantsFPGA {
+		granted = s.gov.TryAcquire(s.cfg.ID)
+		s.gate.set(granted)
+	}
+	fpgaBefore := s.adaptive.RoutedTime["fpga"]
+	fused, st, err := s.fuser.FuseFrames(p.vis, p.ir)
+	if s.wantsFPGA {
+		s.gate.set(false)
+		if granted {
+			s.gov.Release(s.cfg.ID, s.adaptive.RoutedTime["fpga"]-fpgaBefore)
+		}
+	}
+	if err != nil {
+		s.fail(fmt.Errorf("farm: fuse: %w", err))
+		return
+	}
+	s.gov.AddFrame(s.cfg.ID, st)
+
+	s.mu.Lock()
+	s.fused++
+	s.stages.Add(st)
+	if granted {
+		s.grants++
+	} else if s.wantsFPGA {
+		s.denials++
+	}
+	if s.routedRows == nil {
+		s.routedRows = make(map[string]int64)
+		s.routedTime = make(map[string]int64)
+	}
+	for k, v := range s.adaptive.RoutedRows {
+		s.routedRows[k] = v
+	}
+	for k, v := range s.adaptive.RoutedTime {
+		s.routedTime[k] = int64(v)
+	}
+	s.snapshot = fused
+	s.mu.Unlock()
+}
+
+// fail records the stream's terminal error and initiates shutdown.
+func (s *Stream) fail(err error) {
+	s.mu.Lock()
+	if s.err == nil {
+		s.err = err
+	}
+	s.mu.Unlock()
+	s.Stop()
+}
+
+func (s *Stream) finish() {
+	s.mu.Lock()
+	s.running = false
+	s.mu.Unlock()
+	s.gov.StreamDone(s.cfg.ID)
+	close(s.done)
+}
+
+// Stop asks the stream to shut down; queued-but-unfused pairs are counted
+// as dropped. Stop is idempotent and returns immediately — use Done to
+// wait.
+func (s *Stream) Stop() {
+	s.stopOnce.Do(func() {
+		s.stopped.Store(true)
+		close(s.stopCh)
+	})
+}
+
+// Done is closed when the stream's worker has exited.
+func (s *Stream) Done() <-chan struct{} { return s.done }
+
+// ID returns the stream id.
+func (s *Stream) ID() string { return s.cfg.ID }
+
+// Config returns the effective stream configuration.
+func (s *Stream) Config() StreamConfig { return s.cfg }
+
+// Snapshot returns a copy of the most recent fused frame (nil before the
+// first fusion completes).
+func (s *Stream) Snapshot() *frame.Frame {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.snapshot == nil {
+		return nil
+	}
+	return s.snapshot.Clone()
+}
+
+// Telemetry snapshots the stream's accumulated record.
+func (s *Stream) Telemetry() StreamTelemetry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t := StreamTelemetry{
+		ID:          s.cfg.ID,
+		Engine:      s.cfg.Engine,
+		W:           s.cfg.W,
+		H:           s.cfg.H,
+		Levels:      s.fuser.Config().Levels,
+		Running:     s.running,
+		Captured:    s.captured,
+		Fused:       s.fused,
+		Dropped:     s.queue.Dropped() + s.droppedShutdown,
+		QueueDepth:  s.queue.Len(),
+		Stages:      stageJSON(s.stages),
+		FPGAGrants:  s.grants,
+		FPGADenials: s.denials,
+	}
+	if s.err != nil {
+		t.Err = s.err.Error()
+	}
+	if s.fused > 0 {
+		t.EnergyPerFrame = s.stages.Energy / sim.Joules(s.fused)
+	}
+	if s.stages.Total > 0 {
+		t.MeanPower = sim.Watts(float64(s.stages.Energy) / s.stages.Total.Seconds())
+		t.FusedPerSecond = float64(s.fused) / s.stages.Total.Seconds()
+	}
+	t.RoutedRows = make(map[string]int64, len(s.routedRows))
+	t.RoutedTime = make(map[string]sim.Time, len(s.routedTime))
+	var kernel, fpga int64
+	for k, v := range s.routedRows {
+		t.RoutedRows[k] = v
+	}
+	for k, v := range s.routedTime {
+		t.RoutedTime[k] = sim.Time(v)
+		kernel += v
+		if k == "fpga" {
+			fpga = v
+		}
+	}
+	if kernel > 0 {
+		t.FPGAShare = float64(fpga) / float64(kernel)
+	}
+	return t
+}

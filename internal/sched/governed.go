@@ -1,0 +1,52 @@
+package sched
+
+import "zynqfusion/internal/sim"
+
+// Gate arbitrates access to the single shared FPGA wave engine. The farm
+// governor implements it: a stream holds the FPGA lease for the duration
+// of one fused frame, and every other stream's gate reports denied.
+type Gate interface {
+	// FPGAGranted reports whether the caller currently holds the wave
+	// engine. Implementations must be safe for concurrent use.
+	FPGAGranted() bool
+}
+
+// Governed wraps an inner policy with a Gate: whenever the inner policy
+// picks the FPGA but the gate denies it, the row is downgraded to the
+// fallback engine instead. This is how contending farm streams share the
+// one modeled wave engine — the loser of the frame-level arbitration
+// keeps fusing on NEON at full functional fidelity, only the cost model
+// routing changes.
+type Governed struct {
+	// Inner is the wrapped policy (required).
+	Inner Policy
+	// Gate grants or denies the FPGA (required).
+	Gate Gate
+	// Fallback is the engine substituted for denied FPGA picks
+	// (default "neon").
+	Fallback string
+}
+
+// Name implements Policy.
+func (g Governed) Name() string { return "governed(" + g.Inner.Name() + ")" }
+
+// Pick implements Policy, downgrading denied FPGA picks.
+func (g Governed) Pick(pairs int, inverse bool) string {
+	e := g.Inner.Pick(pairs, inverse)
+	if e == "fpga" && !g.Gate.FPGAGranted() {
+		if g.Fallback != "" {
+			return g.Fallback
+		}
+		return "neon"
+	}
+	return e
+}
+
+// Observe implements Feedback by forwarding to the inner policy when it
+// learns. Downgraded rows report the engine that actually ran them, so an
+// online learner keeps accumulating valid measurements either way.
+func (g Governed) Observe(pairs int, inverse bool, engine string, cost sim.Time) {
+	if fb, ok := g.Inner.(Feedback); ok {
+		fb.Observe(pairs, inverse, engine, cost)
+	}
+}

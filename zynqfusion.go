@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"zynqfusion/internal/engine"
+	"zynqfusion/internal/farm"
 	"zynqfusion/internal/frame"
 	"zynqfusion/internal/fusion"
 	"zynqfusion/internal/pipeline"
@@ -25,10 +26,12 @@ func LoadPGM(path string) (*Frame, error) { return frame.LoadPGM(path) }
 // Stats is the per-fusion stage timing and energy record.
 type Stats = pipeline.StageTimes
 
-// Time and Energy are the simulated-time and energy scalars used in Stats.
+// Time, Energy and Power are the simulated-time, energy and power scalars
+// used throughout the accounting surfaces.
 type (
 	Time   = sim.Time
 	Energy = sim.Joules
+	Power  = sim.Watts
 )
 
 // Rule is a coefficient fusion rule.
@@ -71,7 +74,8 @@ type Options struct {
 }
 
 // Fuser fuses visible/infrared frame pairs with full simulated platform
-// accounting. It is not safe for concurrent use; create one per goroutine.
+// accounting. It is not safe for concurrent use; create one per goroutine,
+// or use NewFarm to run many governed streams concurrently.
 type Fuser struct {
 	pl   *pipeline.Fuser
 	kind EngineKind
@@ -81,6 +85,9 @@ type Fuser struct {
 func New(opts Options) (*Fuser, error) {
 	if opts.Engine == "" {
 		opts.Engine = EngineAdaptive
+	}
+	if opts.Levels < 0 {
+		return nil, fmt.Errorf("zynqfusion: Options.Levels must be non-negative, got %d", opts.Levels)
 	}
 	eng, err := buildEngine(opts)
 	if err != nil {
@@ -115,10 +122,42 @@ func buildEngine(opts Options) (engine.Engine, error) {
 func (f *Fuser) Engine() EngineKind { return f.kind }
 
 // Fuse combines one visible/infrared frame pair into a fused frame,
-// returning the simulated stage times and energy.
+// returning the simulated stage times and energy. The configured
+// decomposition depth is validated against MaxLevels for the frame size
+// before any work runs.
 func (f *Fuser) Fuse(vis, ir *Frame) (*Frame, Stats, error) {
+	if vis != nil && ir != nil && vis.SameSize(ir) {
+		levels := f.pl.Config().Levels
+		if max := wavelet.MaxLevels(vis.W, vis.H); levels > max {
+			return nil, Stats{}, fmt.Errorf(
+				"zynqfusion: Options.Levels = %d exceeds MaxLevels(%d, %d) = %d; reduce Levels or fuse larger frames",
+				levels, vis.W, vis.H, max)
+		}
+	}
 	return f.pl.FuseFrames(vis, ir)
 }
 
 // MaxLevels reports the deepest usable decomposition for a frame size.
 func MaxLevels(w, h int) int { return wavelet.MaxLevels(w, h) }
+
+// Farm types: a farm runs many concurrent capture→fuse→display streams
+// over per-worker fusers, with a shared energy governor arbitrating the
+// single modeled FPGA wave engine. See the farm package for details.
+type (
+	// Farm is the multi-stream fusion farm.
+	Farm = farm.Farm
+	// FarmConfig configures a farm (power budget, queue defaults).
+	FarmConfig = farm.Config
+	// StreamConfig describes one farm stream.
+	StreamConfig = farm.StreamConfig
+	// Stream is one running capture→fuse→display pipeline.
+	Stream = farm.Stream
+	// StreamTelemetry is a stream's accumulated record.
+	StreamTelemetry = farm.StreamTelemetry
+	// FarmMetrics is the farm-wide snapshot served by fusiond's /metrics.
+	FarmMetrics = farm.Metrics
+)
+
+// NewFarm builds an empty fusion farm. Submit streams, read Metrics, and
+// Close when done; cmd/fusiond serves the same farm over HTTP.
+func NewFarm(cfg FarmConfig) *Farm { return farm.New(cfg) }

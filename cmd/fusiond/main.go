@@ -1,6 +1,7 @@
 // Command fusiond serves a multi-stream fusion farm over HTTP: submit,
-// list and stop capture→fuse→display streams, read farm-wide metrics, and
-// fetch per-stream fused-frame snapshots.
+// list and stop capture→fuse→display streams, read farm-wide metrics and
+// the DVFS operating-point table, and fetch per-stream fused-frame
+// snapshots.
 //
 // Usage:
 //
@@ -11,7 +12,9 @@
 //
 //	GET    /healthz
 //	GET    /metrics
-//	POST   /streams        {"w":88,"h":72,"seed":1,"engine":"adaptive","frames":0}
+//	GET    /dvfs
+//	POST   /streams        {"w":88,"h":72,"seed":1,"engine":"adaptive","frames":0,
+//	                        "deadline_ms":120,"dvfs_policy":"deadline-pace"}
 //	GET    /streams
 //	GET    /streams/{id}
 //	DELETE /streams/{id}
@@ -33,29 +36,49 @@ import (
 	"zynqfusion/internal/sim"
 )
 
-func main() {
-	addr := flag.String("addr", ":8080", "listen address")
-	budgetMW := flag.Float64("budget-mw", 0, "aggregate power budget in mW (0 = unlimited)")
-	queueCap := flag.Int("queue", 4, "default per-stream capture queue depth")
-	streams := flag.Int("streams", 0, "demo streams to start at boot")
-	flag.Parse()
+// options carries the daemon's flag-settable configuration.
+type options struct {
+	budgetMW float64 // aggregate power budget in mW (0 = unlimited)
+	queueCap int     // default per-stream capture queue depth
+	streams  int     // demo streams to start at boot
+}
 
+// newDaemon builds the farm and its HTTP handler from the options: the
+// whole service except the listener, so tests can drive the handler
+// directly. The caller owns the returned farm and must Close it.
+func newDaemon(opt options) (*farm.Farm, http.Handler, error) {
 	fm := farm.New(farm.Config{
-		PowerBudget:     sim.Watts(*budgetMW / 1e3),
-		DefaultQueueCap: *queueCap,
+		PowerBudget:     sim.Watts(opt.budgetMW / 1e3),
+		DefaultQueueCap: opt.queueCap,
 	})
-	for i := 0; i < *streams; i++ {
+	for i := 0; i < opt.streams; i++ {
 		if _, err := fm.Submit(farm.StreamConfig{Seed: int64(i + 1)}); err != nil {
-			fmt.Fprintln(os.Stderr, "fusiond:", err)
-			os.Exit(1)
+			fm.Close()
+			return nil, nil, fmt.Errorf("boot stream %d: %w", i+1, err)
 		}
 	}
+	return fm, farm.NewServer(fm), nil
+}
 
-	srv := &http.Server{Addr: *addr, Handler: farm.NewServer(fm)}
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	opt := options{}
+	flag.Float64Var(&opt.budgetMW, "budget-mw", 0, "aggregate power budget in mW (0 = unlimited)")
+	flag.IntVar(&opt.queueCap, "queue", 4, "default per-stream capture queue depth")
+	flag.IntVar(&opt.streams, "streams", 0, "demo streams to start at boot")
+	flag.Parse()
+
+	fm, handler, err := newDaemon(opt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fusiond:", err)
+		os.Exit(1)
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: handler}
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
 	fmt.Printf("fusiond: serving on %s (budget %s, %d streams)\n",
-		*addr, sim.Watts(*budgetMW/1e3), *streams)
+		*addr, sim.Watts(opt.budgetMW/1e3), opt.streams)
 
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)

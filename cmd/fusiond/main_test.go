@@ -1,0 +1,84 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"zynqfusion/internal/farm"
+)
+
+func TestNewDaemonSmoke(t *testing.T) {
+	fm, handler, err := newDaemon(options{queueCap: 4, streams: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fm.Close()
+
+	get := func(path string) *httptest.ResponseRecorder {
+		t.Helper()
+		rec := httptest.NewRecorder()
+		handler.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+		return rec
+	}
+
+	if rec := get("/healthz"); rec.Code != http.StatusOK || rec.Body.String() != "ok\n" {
+		t.Errorf("healthz = %d %q", rec.Code, rec.Body.String())
+	}
+
+	var m farm.Metrics
+	rec := get("/metrics")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("metrics status %d", rec.Code)
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &m); err != nil {
+		t.Fatalf("metrics JSON: %v", err)
+	}
+	if m.Aggregate.Streams != 1 {
+		t.Errorf("boot streams = %d, want 1", m.Aggregate.Streams)
+	}
+
+	rec = get("/dvfs")
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "533MHz") {
+		t.Errorf("dvfs endpoint = %d %q", rec.Code, rec.Body.String())
+	}
+
+	// Submit a bounded deadline-paced stream through the HTTP surface.
+	body := strings.NewReader(`{"w":64,"h":48,"seed":2,"engine":"neon","frames":1,
+		"deadline_ms":1000,"dvfs_policy":"deadline-pace"}`)
+	rec = httptest.NewRecorder()
+	handler.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/streams", body))
+	if rec.Code != http.StatusCreated {
+		t.Fatalf("submit status %d: %s", rec.Code, rec.Body.String())
+	}
+	var tele farm.StreamTelemetry
+	if err := json.Unmarshal(rec.Body.Bytes(), &tele); err != nil {
+		t.Fatalf("submit JSON: %v", err)
+	}
+	if tele.DVFSPolicy != "deadline-pace" {
+		t.Errorf("submitted policy = %q", tele.DVFSPolicy)
+	}
+	s, ok := fm.Get(tele.ID)
+	if !ok {
+		t.Fatalf("stream %q not in farm", tele.ID)
+	}
+	<-s.Done()
+	if got := s.Telemetry(); got.Fused != 1 || got.DeadlineMisses != 0 {
+		t.Errorf("stream finished with %+v", got)
+	}
+}
+
+func TestNewDaemonFarmOwnership(t *testing.T) {
+	// The caller owns the returned farm: after Close it must refuse
+	// further submissions.
+	fm, _, err := newDaemon(options{queueCap: 4, streams: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fm.Close()
+	if _, err := fm.Submit(farm.StreamConfig{}); err == nil {
+		t.Error("closed farm accepted a stream")
+	}
+}

@@ -1,0 +1,98 @@
+package zynqfusion
+
+import (
+	"strings"
+	"testing"
+
+	"zynqfusion/internal/camera"
+)
+
+func TestOperatingPointsTable(t *testing.T) {
+	pts := OperatingPoints()
+	if len(pts) == 0 {
+		t.Fatal("no operating points exported")
+	}
+	var sawNominal bool
+	for _, op := range pts {
+		if op.Name == "533MHz" {
+			sawNominal = true
+		}
+	}
+	if !sawNominal {
+		t.Errorf("operating-point table %v lacks the 533MHz calibration anchor", pts)
+	}
+}
+
+func TestNewRejectsUnknownOperatingPoint(t *testing.T) {
+	_, err := New(Options{OperatingPoint: "9GHz"})
+	if err == nil || !strings.Contains(err.Error(), "operating point") {
+		t.Fatalf("unknown operating point not rejected: %v", err)
+	}
+}
+
+func TestOperatingPointScalesFuseTime(t *testing.T) {
+	sc := camera.NewScene(64, 48, 3)
+	vis, ir := sc.Visible(), sc.Thermal()
+
+	fuse := func(point string) Stats {
+		t.Helper()
+		f, err := New(Options{Engine: EngineNEON, OperatingPoint: point})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, st, err := f.Fuse(vis, ir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	nominal := fuse("")
+	slow := fuse("222MHz")
+	fast := fuse("667mhz") // case-insensitive lookup
+	if !(slow.Total > nominal.Total && nominal.Total > fast.Total) {
+		t.Errorf("fuse time not monotone in operating point: 222=%v 533=%v 667=%v",
+			slow.Total, nominal.Total, fast.Total)
+	}
+
+	// The default must be the nominal point, bit-for-bit.
+	pinned := fuse("533MHz")
+	if nominal != pinned {
+		t.Errorf("default differs from pinned 533MHz:\n%+v\n%+v", nominal, pinned)
+	}
+
+	f, err := New(Options{OperatingPoint: "444MHz"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.OperatingPoint(); got.Name != "444MHz" {
+		t.Errorf("OperatingPoint() = %v, want 444MHz", got)
+	}
+}
+
+func TestFarmStreamDVFSOverHTTPShapes(t *testing.T) {
+	// StreamConfig carries the deadline/policy fields through the public
+	// alias; a deadline-paced stream reports residency and zero misses
+	// under generous slack.
+	fm := NewFarm(FarmConfig{})
+	defer fm.Close()
+	s, err := fm.Submit(StreamConfig{
+		W: 64, H: 48, Seed: 1, Engine: "neon",
+		Frames: 2, QueueCap: 2,
+		DeadlineMS: 1000, DVFSPolicy: DVFSDeadlinePace,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fm.Wait()
+	tele := s.Telemetry()
+	if tele.DeadlineMisses != 0 {
+		t.Errorf("misses = %d under a 1s deadline", tele.DeadlineMisses)
+	}
+	if len(tele.OpResidency) == 0 || tele.Point == "" {
+		t.Errorf("no operating-point residency recorded: %+v", tele)
+	}
+	if tele.EnergyPerPeriod <= tele.EnergyPerFrame {
+		t.Errorf("J/period %v should exceed J/frame %v once slack is charged",
+			tele.EnergyPerPeriod, tele.EnergyPerFrame)
+	}
+}

@@ -7,7 +7,6 @@ package bench
 import (
 	"fmt"
 	"io"
-	"sort"
 
 	"zynqfusion/internal/camera"
 	"zynqfusion/internal/engine"
@@ -134,9 +133,10 @@ func All() []Experiment {
 		{ID: "ablation-fixedpoint", Title: "Ablation — Q16.16 vs float32 wave-engine datapath", Run: RunAblationFixedPoint},
 		{ID: "ablation-quality", Title: "Ablation — DWT vs DT-CWT fusion quality (section III)", Run: RunAblationQuality},
 		{ID: "farm-scale", Title: "Extension — farm scaling: throughput and J/frame vs stream count", Run: RunFarmScale},
+		{ID: "dvfs-pareto", Title: "Extension — DVFS energy-vs-deadline Pareto frontier (J/frame vs fps target)", Run: RunDVFSPareto},
+		{ID: "dvfs-farm", Title: "Extension — DVFS deadline scenarios: tight/loose deadlines x 1/4/16 streams", Run: RunDVFSFarm},
 	}
-	sort.SliceStable(exps, func(i, j int) bool { return false }) // keep declaration order
-	return exps
+	return exps // declaration order
 }
 
 // Find returns the experiment with the given id.

@@ -1,0 +1,172 @@
+package dvfs
+
+import (
+	"testing"
+
+	"zynqfusion/internal/power"
+	"zynqfusion/internal/sim"
+	"zynqfusion/internal/zynq"
+)
+
+func TestTableShape(t *testing.T) {
+	pts := List()
+	if len(pts) != 5 {
+		t.Fatalf("want 5 operating points, got %d", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Hz <= pts[i-1].Hz {
+			t.Errorf("points not in ascending frequency: %v before %v", pts[i-1], pts[i])
+		}
+		if pts[i].Volts <= pts[i-1].Volts {
+			t.Errorf("voltage not monotone with frequency: %v before %v", pts[i-1], pts[i])
+		}
+	}
+	if Min() != pts[0] || Max() != pts[len(pts)-1] {
+		t.Errorf("Min/Max disagree with table order")
+	}
+}
+
+func TestNominalIsCalibrationAnchor(t *testing.T) {
+	n := Nominal()
+	if n.Hz != zynq.PSHz {
+		t.Errorf("nominal Hz = %g, want zynq.PSHz = %g", n.Hz, zynq.PSHz)
+	}
+	if n.Volts != 1.0 {
+		t.Errorf("nominal Volts = %g, want 1.0", n.Volts)
+	}
+	if got := n.Clock(); got != zynq.PS() {
+		t.Errorf("nominal Clock() = %+v, want zynq.PS() = %+v", got, zynq.PS())
+	}
+	if s := Scale(n); s != 1 {
+		t.Errorf("Scale(nominal) = %g, want exactly 1", s)
+	}
+}
+
+func TestLookup(t *testing.T) {
+	for _, name := range []string{"533MHz", "533mhz", " 533MHZ ", "533"} {
+		op, ok := Lookup(name)
+		if !ok || op != Nominal() {
+			t.Errorf("Lookup(%q) = %v, %v; want nominal", name, op, ok)
+		}
+	}
+	if _, ok := Lookup("1000MHz"); ok {
+		t.Errorf("Lookup of unknown point succeeded")
+	}
+}
+
+func TestModePowerAnchorsExact(t *testing.T) {
+	// At the nominal point the scaled powers must be bit-for-bit the
+	// calibrated constants.
+	n := Nominal()
+	if got := ModePower("arm", n); got != power.ARMActive {
+		t.Errorf("arm at nominal = %v, want %v", got, power.ARMActive)
+	}
+	if got := ModePower("neon", n); got != power.NEONActive {
+		t.Errorf("neon at nominal = %v, want %v", got, power.NEONActive)
+	}
+	if got := ModePower("fpga", n); got != power.FPGAActive {
+		t.Errorf("fpga at nominal = %v, want %v", got, power.FPGAActive)
+	}
+	if got := ModePower("mystery", n); got != power.Idle {
+		t.Errorf("unknown mode at nominal = %v, want idle %v", got, power.Idle)
+	}
+}
+
+func TestModePowerScaling(t *testing.T) {
+	// Active power must be monotone in the operating point, always above
+	// the quiescent power, and the FPGA delta must not scale.
+	prev := sim.Watts(0)
+	for _, op := range List() {
+		arm := ModePower("arm", op)
+		if arm <= power.Idle {
+			t.Errorf("arm power at %v = %v, not above idle", op, arm)
+		}
+		if arm <= prev {
+			t.Errorf("arm power not monotone at %v: %v <= %v", op, arm, prev)
+		}
+		prev = arm
+		fpga := ModePower("fpga", op)
+		if diff := float64(fpga - arm - power.FPGADelta); diff > 1e-15 || diff < -1e-15 {
+			t.Errorf("fpga delta at %v = %v, want fixed %v", op, fpga-arm, power.FPGADelta)
+		}
+	}
+}
+
+func TestGovernors(t *testing.T) {
+	// A synthetic predictor: frame time scales inversely with frequency
+	// from 100ms at nominal.
+	pred := func(op OperatingPoint) sim.Time {
+		return sim.Time(float64(100*sim.Millisecond) * (Nominal().Hz / op.Hz))
+	}
+	if got := (RaceToIdle{}).Pick(pred, 200*sim.Millisecond); got != Max() {
+		t.Errorf("race-to-idle picked %v, want max", got)
+	}
+	if got := (Fixed{Point: Min()}).Pick(pred, 200*sim.Millisecond); got != Min() {
+		t.Errorf("fixed picked %v, want pinned point", got)
+	}
+	// 150ms deadline: 222MHz predicts 240ms (too slow), 333MHz predicts
+	// 160ms (too slow), 444MHz predicts 120ms (fits).
+	got := (DeadlinePace{}).Pick(pred, 150*sim.Millisecond)
+	if got.Name != "444MHz" {
+		t.Errorf("deadline-pace picked %v, want 444MHz", got)
+	}
+	// Generous deadline: lowest point.
+	if got := (DeadlinePace{}).Pick(pred, sim.Second); got != Min() {
+		t.Errorf("deadline-pace with slack picked %v, want min", got)
+	}
+	// Impossible deadline: fall back to fastest.
+	if got := (DeadlinePace{}).Pick(pred, sim.Microsecond); got != Max() {
+		t.Errorf("deadline-pace with impossible deadline picked %v, want max", got)
+	}
+	// No predictor or no deadline: fastest.
+	if got := (DeadlinePace{}).Pick(nil, sim.Second); got != Max() {
+		t.Errorf("deadline-pace without predictor picked %v, want max", got)
+	}
+	if got := (DeadlinePace{}).Pick(pred, 0); got != Max() {
+		t.Errorf("deadline-pace without deadline picked %v, want max", got)
+	}
+}
+
+func TestForPolicy(t *testing.T) {
+	for _, name := range []string{"", "nominal", "NOMINAL"} {
+		g, err := ForPolicy(name)
+		if err != nil {
+			t.Fatalf("ForPolicy(%q): %v", name, err)
+		}
+		if got := g.Pick(nil, 0); got != Nominal() {
+			t.Errorf("ForPolicy(%q) picks %v, want nominal", name, got)
+		}
+	}
+	g, err := ForPolicy("222MHz")
+	if err != nil {
+		t.Fatalf("ForPolicy(222MHz): %v", err)
+	}
+	if got := g.Pick(nil, 0); got != Min() {
+		t.Errorf("pinned policy picks %v, want 222MHz", got)
+	}
+	if g, err = ForPolicy("race-to-idle"); err != nil || g.Name() != PolicyRaceToIdle {
+		t.Errorf("ForPolicy(race-to-idle) = %v, %v", g, err)
+	}
+	if g, err = ForPolicy("deadline-pace"); err != nil || g.Name() != PolicyDeadlinePace {
+		t.Errorf("ForPolicy(deadline-pace) = %v, %v", g, err)
+	}
+	if _, err = ForPolicy("warp-speed"); err == nil {
+		t.Errorf("ForPolicy accepted an unknown policy")
+	}
+}
+
+func TestResidency(t *testing.T) {
+	var r Residency
+	r.Add(Max(), 10*sim.Millisecond)
+	r.Add(Min(), 5*sim.Millisecond)
+	r.Add(Min(), 5*sim.Millisecond)
+	if got := r.Time()[Min().Name]; got != 10*sim.Millisecond {
+		t.Errorf("min residency = %v, want 10ms", got)
+	}
+	if got := r.Frames()[Min().Name]; got != 2 {
+		t.Errorf("min frames = %d, want 2", got)
+	}
+	if got := r.Frames()[Max().Name]; got != 1 {
+		t.Errorf("max frames = %d, want 1", got)
+	}
+}

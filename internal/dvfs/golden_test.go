@@ -1,0 +1,98 @@
+package dvfs_test
+
+// The golden anchor test: at the 533 MHz operating point the DVFS-enabled
+// constructors must reproduce the fixed-platform calibrated times and
+// energies bit-for-bit, for every engine and for the full pipeline.
+
+import (
+	"testing"
+
+	"zynqfusion/internal/camera"
+	"zynqfusion/internal/dvfs"
+	"zynqfusion/internal/engine"
+	"zynqfusion/internal/pipeline"
+	"zynqfusion/internal/power"
+	"zynqfusion/internal/sched"
+	"zynqfusion/internal/sim"
+)
+
+func fuseStages(t *testing.T, e engine.Engine) pipeline.StageTimes {
+	t.Helper()
+	sc := camera.NewScene(64, 48, 7)
+	fu := pipeline.New(e, pipeline.Config{IncludeIO: true})
+	var acc pipeline.StageTimes
+	for i := 0; i < 3; i++ {
+		_, st, err := fu.FuseFrames(sc.Visible(), sc.Thermal())
+		if err != nil {
+			t.Fatalf("fuse: %v", err)
+		}
+		acc.Add(st)
+	}
+	return acc
+}
+
+func TestNominalBitForBit(t *testing.T) {
+	n := dvfs.Nominal()
+	cases := []struct {
+		name  string
+		fixed func() engine.Engine
+		atOp  func() engine.Engine
+	}{
+		{"arm", func() engine.Engine { return engine.NewARM() },
+			func() engine.Engine { return engine.NewARMAt(n) }},
+		{"neon", func() engine.Engine { return engine.NewNEON(false) },
+			func() engine.Engine { return engine.NewNEONAt(false, n) }},
+		{"fpga", func() engine.Engine { return engine.NewFPGA() },
+			func() engine.Engine { return engine.NewFPGAAt(n) }},
+		{"adaptive", func() engine.Engine { return sched.NewAdaptive(sched.Threshold{}) },
+			func() engine.Engine { return sched.NewAdaptiveAt(sched.ThresholdForClock(n.Clock()), n) }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			fixed := fuseStages(t, c.fixed())
+			atOp := fuseStages(t, c.atOp())
+			if fixed != atOp {
+				t.Errorf("533 MHz operating point diverges from fixed model:\nfixed %+v\nDVFS  %+v", fixed, atOp)
+			}
+		})
+	}
+}
+
+func TestNominalEnginePowersBitForBit(t *testing.T) {
+	n := dvfs.Nominal()
+	if engine.NewARMAt(n).Power() != engine.NewARM().Power() {
+		t.Errorf("ARM power differs at nominal")
+	}
+	if engine.NewNEONAt(false, n).Power() != engine.NewNEON(false).Power() {
+		t.Errorf("NEON power differs at nominal")
+	}
+	if engine.NewFPGAAt(n).Power() != engine.NewFPGA().Power() {
+		t.Errorf("FPGA power differs at nominal")
+	}
+}
+
+func TestLowerPointSlowsAndHigherPointSpeeds(t *testing.T) {
+	nominal := fuseStages(t, engine.NewNEONAt(false, dvfs.Nominal()))
+	slow := fuseStages(t, engine.NewNEONAt(false, dvfs.Min()))
+	fast := fuseStages(t, engine.NewNEONAt(false, dvfs.Max()))
+	if !(slow.Total > nominal.Total && nominal.Total > fast.Total) {
+		t.Errorf("frame time not monotone in frequency: min=%v nominal=%v max=%v",
+			slow.Total, nominal.Total, fast.Total)
+	}
+	// NEON is pure PS work: time must scale as 1/f (within integer
+	// picosecond rounding across the per-row conversions).
+	ratio := float64(slow.Total) / float64(nominal.Total)
+	want := dvfs.Nominal().Hz / dvfs.Min().Hz
+	if ratio < want*0.999 || ratio > want*1.001 {
+		t.Errorf("slowdown ratio %.5f, want ~%.5f (1/f scaling)", ratio, want)
+	}
+	// Over a common frame period (racing engines idle out the remainder
+	// at the quiescent power), energy reduces to Idle·D plus a term that
+	// scales with V² alone — so the low-voltage point wins strictly.
+	period := slow.Total
+	slowPeriod := slow.Energy // no slack: the slow point fills the period
+	fastPeriod := fast.Energy + sim.EnergyOver(power.Idle, period-fast.Total)
+	if slowPeriod >= fastPeriod {
+		t.Errorf("low-V period energy %v not below race-to-idle %v", slowPeriod, fastPeriod)
+	}
+}

@@ -1,0 +1,99 @@
+package dvfs
+
+import (
+	"fmt"
+	"strings"
+
+	"zynqfusion/internal/sim"
+)
+
+// Predictor estimates the modeled frame time at an operating point. Farm
+// streams calibrate one by probing the cycle-based cost model at every
+// point before the first frame.
+type Predictor func(op OperatingPoint) sim.Time
+
+// Governor picks the PS operating point for the next frame.
+type Governor interface {
+	// Name identifies the governor in telemetry and reports.
+	Name() string
+	// Pick returns the operating point for a frame due within deadline
+	// (0 means no deadline), given a predictor of frame time per point.
+	// pred may be nil when the caller has no prediction.
+	Pick(pred Predictor, deadline sim.Time) OperatingPoint
+}
+
+// Governor policy names accepted by ForPolicy.
+const (
+	// PolicyNominal pins the PS at the calibrated 533 MHz point — the
+	// fixed-platform behavior every pre-DVFS result was measured at.
+	PolicyNominal = "nominal"
+	// PolicyRaceToIdle runs every frame at the fastest point and spends
+	// the remaining deadline slack at the quiescent board power.
+	PolicyRaceToIdle = "race-to-idle"
+	// PolicyDeadlinePace runs each frame at the lowest point whose
+	// predicted frame time still meets the deadline.
+	PolicyDeadlinePace = "deadline-pace"
+)
+
+// Fixed pins one operating point regardless of deadline.
+type Fixed struct{ Point OperatingPoint }
+
+// Name implements Governor.
+func (f Fixed) Name() string { return "fixed-" + f.Point.Name }
+
+// Pick implements Governor.
+func (f Fixed) Pick(Predictor, sim.Time) OperatingPoint { return f.Point }
+
+// RaceToIdle always picks the fastest point: finish the frame as early as
+// possible, then idle until the deadline. The classic throughput-first
+// strategy deadline pacing is measured against.
+type RaceToIdle struct{}
+
+// Name implements Governor.
+func (RaceToIdle) Name() string { return PolicyRaceToIdle }
+
+// Pick implements Governor.
+func (RaceToIdle) Pick(Predictor, sim.Time) OperatingPoint { return Max() }
+
+// DeadlinePace picks the lowest operating point whose predicted frame
+// time meets the deadline: the frame stretches into its slack at a lower
+// voltage, and because energy over the frame period scales with V² the
+// paced frame costs strictly fewer joules than racing and idling.
+type DeadlinePace struct{}
+
+// Name implements Governor.
+func (DeadlinePace) Name() string { return PolicyDeadlinePace }
+
+// Pick implements Governor. Without a deadline or a predictor, or when no
+// point meets the deadline, it falls back to the fastest point.
+func (DeadlinePace) Pick(pred Predictor, deadline sim.Time) OperatingPoint {
+	if deadline <= 0 || pred == nil {
+		return Max()
+	}
+	for _, op := range table {
+		if pred(op) <= deadline {
+			return op
+		}
+	}
+	return Max()
+}
+
+// ForPolicy resolves a governor by policy name. The empty name and
+// "nominal" pin the calibrated 533 MHz point (the pre-DVFS behavior); an
+// operating-point name ("222MHz") pins that point; "race-to-idle" and
+// "deadline-pace" select the dynamic governors.
+func ForPolicy(name string) (Governor, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "", PolicyNominal:
+		return Fixed{Point: Nominal()}, nil
+	case PolicyRaceToIdle:
+		return RaceToIdle{}, nil
+	case PolicyDeadlinePace:
+		return DeadlinePace{}, nil
+	}
+	if op, ok := Lookup(name); ok {
+		return Fixed{Point: op}, nil
+	}
+	return nil, fmt.Errorf("dvfs: unknown policy %q (want %s, %s, %s or an operating point %v)",
+		name, PolicyNominal, PolicyRaceToIdle, PolicyDeadlinePace, Names())
+}

@@ -1,22 +1,30 @@
 package engine
 
 import (
-	"zynqfusion/internal/power"
+	"zynqfusion/internal/dvfs"
 	"zynqfusion/internal/signal"
 	"zynqfusion/internal/sim"
-	"zynqfusion/internal/zynq"
 )
 
 // ARM is the scalar software engine: the baseline configuration where the
 // Cortex-A9 executes the filter kernels itself.
 type ARM struct {
 	ps     sim.Clock
+	op     dvfs.OperatingPoint
+	watts  sim.Watts
 	cycles float64
 }
 
-// NewARM returns a scalar engine on the PS clock.
+// NewARM returns a scalar engine at the nominal (533 MHz) operating point.
 func NewARM() *ARM {
-	return &ARM{ps: zynq.PS()}
+	return NewARMAt(dvfs.Nominal())
+}
+
+// NewARMAt returns a scalar engine at the given PS operating point: cycle
+// counts convert to time at the point's clock and energy is charged at
+// the point's scaled board power.
+func NewARMAt(op dvfs.OperatingPoint) *ARM {
+	return &ARM{ps: op.Clock(), op: op, watts: dvfs.ModePower("arm", op)}
 }
 
 // Name implements Engine.
@@ -53,4 +61,7 @@ func (a *ARM) Reset() sim.Time {
 }
 
 // Power implements Engine.
-func (a *ARM) Power() sim.Watts { return power.ARMActive }
+func (a *ARM) Power() sim.Watts { return a.watts }
+
+// Point reports the PS operating point the engine accounts at.
+func (a *ARM) Point() dvfs.OperatingPoint { return a.op }

@@ -5,8 +5,8 @@ import (
 
 	"zynqfusion/internal/axi"
 	"zynqfusion/internal/driver"
+	"zynqfusion/internal/dvfs"
 	"zynqfusion/internal/hls"
-	"zynqfusion/internal/power"
 	"zynqfusion/internal/signal"
 	"zynqfusion/internal/sim"
 	"zynqfusion/internal/zynq"
@@ -18,9 +18,11 @@ import (
 // wavelet layer switches banks (tree or level changes), and that reload
 // time is charged.
 type FPGA struct {
-	ps  sim.Clock
-	dev *driver.Device
-	eng *hls.WaveEngine
+	ps    sim.Clock
+	op    dvfs.OperatingPoint
+	watts sim.Watts
+	dev   *driver.Device
+	eng   *hls.WaveEngine
 
 	loaded    bool
 	curAL     signal.Taps
@@ -51,9 +53,23 @@ type FPGAVariant struct {
 }
 
 // NewFPGAVariant builds an accelerator stack with the given design
-// alternatives.
+// alternatives at the nominal operating point.
 func NewFPGAVariant(v FPGAVariant) *FPGA {
-	ps, pl := zynq.PS(), zynq.PL()
+	return NewFPGAVariantAt(v, dvfs.Nominal())
+}
+
+// NewFPGAAt builds the default accelerator stack at the given PS
+// operating point. Only the host side moves with the point: the wave
+// engine keeps its own 100 MHz PL clock, so as the PS slows the fixed
+// PL compute time amortizes a relatively larger share of each row.
+func NewFPGAAt(op dvfs.OperatingPoint) *FPGA {
+	return NewFPGAVariantAt(FPGAVariant{DoubleBuffered: true}, op)
+}
+
+// NewFPGAVariantAt builds an accelerator stack with the given design
+// alternatives at the given PS operating point.
+func NewFPGAVariantAt(v FPGAVariant, op dvfs.OperatingPoint) *FPGA {
+	ps, pl := op.Clock(), zynq.PL()
 	eng := hls.New(ps, pl, axi.NewACP(pl))
 	copyCost := float64(UserCopyCyclesPerWord)
 	if v.GPPort {
@@ -70,7 +86,7 @@ func NewFPGAVariant(v FPGAVariant) *FPGA {
 	if err != nil {
 		panic("engine: driver open failed: " + err.Error())
 	}
-	return &FPGA{ps: ps, dev: dev, eng: eng}
+	return &FPGA{ps: ps, op: op, watts: dvfs.ModePower("fpga", op), dev: dev, eng: eng}
 }
 
 // Name implements Engine.
@@ -146,5 +162,8 @@ func (f *FPGA) Peek() sim.Time { return f.dev.Peek() }
 func (f *FPGA) Reset() sim.Time { return f.dev.Reset() }
 
 // Power implements Engine: ARM+FPGA mode draws the extra wave-engine
-// power (+19.2 mW, +3.6%).
-func (f *FPGA) Power() sim.Watts { return power.FPGAActive }
+// power (+19.2 mW at the nominal point, +3.6%) on top of the PS share.
+func (f *FPGA) Power() sim.Watts { return f.watts }
+
+// Point reports the PS operating point the engine accounts at.
+func (f *FPGA) Point() dvfs.OperatingPoint { return f.op }

@@ -1,11 +1,10 @@
 package engine
 
 import (
+	"zynqfusion/internal/dvfs"
 	"zynqfusion/internal/neon"
-	"zynqfusion/internal/power"
 	"zynqfusion/internal/signal"
 	"zynqfusion/internal/sim"
-	"zynqfusion/internal/zynq"
 )
 
 // NEON is the SIMD engine: kernels execute on the emulated NEON unit
@@ -13,17 +12,31 @@ import (
 // per-pair rates plus the scalar-tail penalty.
 type NEON struct {
 	ps     sim.Clock
+	op     dvfs.OperatingPoint
+	watts  sim.Watts
 	unit   *neon.Unit
 	kern   neon.Kernel
 	cycles float64
 }
 
-// NewNEON returns a NEON engine. manual selects hand-written intrinsics
-// (Fig. 3 left) over the auto-vectorized structure (Fig. 3 right); the two
-// perform alike, as the paper observes.
+// NewNEON returns a NEON engine at the nominal operating point. manual
+// selects hand-written intrinsics (Fig. 3 left) over the auto-vectorized
+// structure (Fig. 3 right); the two perform alike, as the paper observes.
 func NewNEON(manual bool) *NEON {
+	return NewNEONAt(manual, dvfs.Nominal())
+}
+
+// NewNEONAt returns a NEON engine at the given PS operating point (the
+// NEON unit shares the PS clock domain).
+func NewNEONAt(manual bool, op dvfs.OperatingPoint) *NEON {
 	u := &neon.Unit{}
-	return &NEON{ps: zynq.PS(), unit: u, kern: neon.Kernel{U: u, Manual: manual}}
+	return &NEON{
+		ps:    op.Clock(),
+		op:    op,
+		watts: dvfs.ModePower("neon", op),
+		unit:  u,
+		kern:  neon.Kernel{U: u, Manual: manual},
+	}
 }
 
 // Name implements Engine.
@@ -72,4 +85,7 @@ func (n *NEON) Reset() sim.Time {
 
 // Power implements Engine. The paper measures ARM+NEON board power
 // indistinguishable from ARM-only.
-func (n *NEON) Power() sim.Watts { return power.NEONActive }
+func (n *NEON) Power() sim.Watts { return n.watts }
+
+// Point reports the PS operating point the engine accounts at.
+func (n *NEON) Point() dvfs.OperatingPoint { return n.op }

@@ -1,0 +1,230 @@
+package farm
+
+import (
+	"strings"
+	"testing"
+
+	"zynqfusion/internal/dvfs"
+)
+
+// runDVFSStream fuses a bounded stream under one deadline/policy pair and
+// returns its telemetry.
+func runDVFSStream(t *testing.T, engine, policy string, deadlineMS float64, frames int64) StreamTelemetry {
+	t.Helper()
+	fm := New(Config{})
+	defer fm.Close()
+	s, err := fm.Submit(StreamConfig{
+		W: 64, H: 48, Seed: 1,
+		Engine:     engine,
+		Frames:     frames,
+		QueueCap:   int(frames),
+		DeadlineMS: deadlineMS,
+		DVFSPolicy: policy,
+	})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	<-s.Done()
+	return s.Telemetry()
+}
+
+func TestDVFSValidation(t *testing.T) {
+	fm := New(Config{})
+	defer fm.Close()
+	if _, err := fm.Submit(StreamConfig{DVFSPolicy: "warp-speed", Frames: 1}); err == nil {
+		t.Errorf("unknown DVFS policy accepted")
+	}
+	if _, err := fm.Submit(StreamConfig{DVFSPolicy: dvfs.PolicyDeadlinePace, Frames: 1}); err == nil {
+		t.Errorf("deadline-pace without a deadline accepted")
+	}
+	if _, err := fm.Submit(StreamConfig{DVFSPolicy: dvfs.PolicyRaceToIdle, Frames: 1}); err == nil {
+		t.Errorf("race-to-idle without a deadline accepted")
+	}
+	if _, err := fm.Submit(StreamConfig{DeadlineMS: -5, Frames: 1}); err == nil {
+		t.Errorf("negative deadline accepted")
+	}
+}
+
+func TestDVFSDefaultPinsNominal(t *testing.T) {
+	// A stream with no DVFS configuration must behave exactly as the
+	// pre-DVFS farm: pinned at 533 MHz, no deadline accounting.
+	def := runDVFSStream(t, "adaptive", "", 0, 3)
+	pinned := runDVFSStream(t, "adaptive", "533MHz", 0, 3)
+	if def.Stages != pinned.Stages {
+		t.Errorf("default stream diverges from pinned 533MHz:\n%+v\n%+v", def.Stages, pinned.Stages)
+	}
+	if def.DeadlineMisses != 0 || def.SlackTime != 0 || def.SlackEnergy != 0 {
+		t.Errorf("deadline accounting active without a deadline: %+v", def)
+	}
+	// The reported policy must round-trip: ForPolicy(def.DVFSPolicy) is
+	// valid input and resolves back to the same pinned point.
+	if def.DVFSPolicy != "533MHz" {
+		t.Errorf("default policy = %q, want 533MHz", def.DVFSPolicy)
+	}
+	if g, err := dvfs.ForPolicy(def.DVFSPolicy); err != nil || g.Pick(nil, 0) != dvfs.Nominal() {
+		t.Errorf("reported policy %q does not round-trip: %v", def.DVFSPolicy, err)
+	}
+	if res := def.OpResidency; len(res) != 1 || res["533MHz"] != def.Stages.Total {
+		t.Errorf("residency = %v, want all of %v at 533MHz", res, def.Stages.Total)
+	}
+}
+
+func TestDeadlinePaceBeatsRaceToIdle(t *testing.T) {
+	// The acceptance scenario: one stream with deadline slack. The paced
+	// stream must fuse every frame within the deadline at a lower
+	// operating point and spend strictly fewer joules per frame period
+	// than racing to idle.
+	const frames = 4
+	// Find a deadline with real slack: 3x the nominal uncontended frame
+	// time (measured through the race governor's own telemetry).
+	probe := runDVFSStream(t, "neon", "nominal", 0, 1)
+	deadlineMS := probe.Stages.Total.Milliseconds() * 3
+
+	race := runDVFSStream(t, "neon", dvfs.PolicyRaceToIdle, deadlineMS, frames)
+	pace := runDVFSStream(t, "neon", dvfs.PolicyDeadlinePace, deadlineMS, frames)
+
+	if race.DeadlineMisses != 0 {
+		t.Fatalf("race-to-idle missed %d deadlines", race.DeadlineMisses)
+	}
+	if pace.DeadlineMisses != 0 {
+		t.Fatalf("deadline-pace missed %d deadlines", pace.DeadlineMisses)
+	}
+	if race.Point != dvfs.Max().Name {
+		t.Errorf("race-to-idle ran at %s, want %s", race.Point, dvfs.Max().Name)
+	}
+	paceOp, ok := dvfs.Lookup(pace.Point)
+	if !ok || paceOp.Hz >= dvfs.Max().Hz {
+		t.Errorf("deadline-pace ran at %s, want a point below max", pace.Point)
+	}
+	if pace.EnergyPerPeriod <= 0 || race.EnergyPerPeriod <= 0 {
+		t.Fatalf("period energies not recorded: pace=%v race=%v", pace.EnergyPerPeriod, race.EnergyPerPeriod)
+	}
+	if pace.EnergyPerPeriod >= race.EnergyPerPeriod {
+		t.Errorf("deadline-pace J/period %v not strictly below race-to-idle %v",
+			pace.EnergyPerPeriod, race.EnergyPerPeriod)
+	}
+	// Pacing trades slack for joules: the paced stream idles less.
+	if pace.SlackTime >= race.SlackTime {
+		t.Errorf("paced slack %v not below raced slack %v", pace.SlackTime, race.SlackTime)
+	}
+}
+
+func TestDVFSResidencyAndMissCounters(t *testing.T) {
+	// An impossible deadline forces misses at the fastest point.
+	tele := runDVFSStream(t, "neon", dvfs.PolicyRaceToIdle, 0.001, 3)
+	if tele.DeadlineMisses != tele.Fused {
+		t.Errorf("misses = %d, want every one of %d frames", tele.DeadlineMisses, tele.Fused)
+	}
+	if tele.SlackTime != 0 {
+		t.Errorf("missed frames accumulated slack %v", tele.SlackTime)
+	}
+	if got := tele.OpFrames[dvfs.Max().Name]; got != tele.Fused {
+		t.Errorf("op frames = %v, want all %d at %s", tele.OpFrames, tele.Fused, dvfs.Max().Name)
+	}
+	if tele.EnergyPerPeriod != tele.EnergyPerFrame {
+		t.Errorf("with zero slack, J/period %v should equal J/frame %v",
+			tele.EnergyPerPeriod, tele.EnergyPerFrame)
+	}
+}
+
+func TestDVFSPaceAcrossEngines(t *testing.T) {
+	// deadline-pace must hold for the FPGA-routing engines too: frames
+	// meet a loose deadline at a low point without misses.
+	for _, eng := range []string{"adaptive", "fpga"} {
+		probe := runDVFSStream(t, eng, "nominal", 0, 1)
+		deadlineMS := probe.Stages.Total.Milliseconds() * 3
+		tele := runDVFSStream(t, eng, dvfs.PolicyDeadlinePace, deadlineMS, 3)
+		if tele.Err != "" {
+			t.Fatalf("%s: stream error %s", eng, tele.Err)
+		}
+		if tele.DeadlineMisses != 0 {
+			t.Errorf("%s: %d deadline misses under 3x slack", eng, tele.DeadlineMisses)
+		}
+		op, ok := dvfs.Lookup(tele.Point)
+		if !ok || op.Hz >= dvfs.Nominal().Hz {
+			t.Errorf("%s: paced at %s, want below nominal under 3x slack", eng, tele.Point)
+		}
+	}
+}
+
+func TestDeadlinePaceEscalatesUnderDenial(t *testing.T) {
+	// The paced predictor assumes an uncontended FPGA. Starve the wave
+	// engine with a tiny power budget (every TryAcquire is a budget
+	// denial, deterministically) and the stream's frames run on the NEON
+	// fallback — slower than predicted, missing a deadline the granted
+	// path would meet. The stream must escalate to a faster point and
+	// stop missing.
+	probe := runDVFSStream(t, "adaptive", "nominal", 0, 1)
+	deadlineMS := probe.Stages.Total.Milliseconds() * 1.15
+
+	fm := New(Config{PowerBudget: 0.01}) // below even one stream's draw
+	defer fm.Close()
+	s, err := fm.Submit(StreamConfig{
+		W: 64, H: 48, Seed: 1, Engine: "adaptive",
+		Frames: 4, QueueCap: 4,
+		DeadlineMS: deadlineMS, DVFSPolicy: dvfs.PolicyDeadlinePace,
+	})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	<-s.Done()
+	tele := s.Telemetry()
+	if fm.Governor().Stats().BudgetDenials != tele.Fused {
+		t.Fatalf("expected every frame budget-denied, got %+v", fm.Governor().Stats())
+	}
+	if tele.DeadlineMisses == 0 {
+		t.Fatalf("denied stream never missed; deadline %.3fms too loose", deadlineMS)
+	}
+	if tele.DeadlineMisses >= tele.Fused {
+		t.Errorf("stream never recovered: %d misses of %d frames at boost %d (residency %v)",
+			tele.DeadlineMisses, tele.Fused, tele.DVFSBoost, tele.OpResidency)
+	}
+	if tele.DVFSBoost == 0 {
+		t.Errorf("no escalation recorded after %d misses", tele.DeadlineMisses)
+	}
+	if len(tele.OpFrames) < 2 {
+		t.Errorf("escalation should visit multiple points, got %v", tele.OpFrames)
+	}
+}
+
+func TestDVFSGovernorSlackAccounting(t *testing.T) {
+	// Stream slack must land on the farm governor's ledger so the
+	// aggregate power reflects the true (mostly idle) board draw.
+	fm := New(Config{})
+	defer fm.Close()
+	s, err := fm.Submit(StreamConfig{
+		W: 64, H: 48, Seed: 1, Engine: "neon",
+		Frames: 2, QueueCap: 2,
+		DeadlineMS: 500, DVFSPolicy: dvfs.PolicyDeadlinePace,
+	})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	<-s.Done()
+	tele := s.Telemetry()
+	if tele.SlackTime <= 0 {
+		t.Fatalf("expected slack under a 500ms deadline, got %v", tele.SlackTime)
+	}
+	busy, energy := fm.Governor().Totals()
+	wantBusy := tele.Stages.Total + tele.SlackTime
+	if busy != wantBusy {
+		t.Errorf("governor busy %v, want active+slack %v", busy, wantBusy)
+	}
+	wantEnergy := tele.Stages.Energy + tele.SlackEnergy
+	if diff := float64(energy - wantEnergy); diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("governor energy %v, want active+slack %v", energy, wantEnergy)
+	}
+	m := fm.Metrics()
+	if m.Aggregate.SlackEnergy != tele.SlackEnergy {
+		t.Errorf("aggregate slack energy %v, want %v", m.Aggregate.SlackEnergy, tele.SlackEnergy)
+	}
+}
+
+func TestDVFSSubmitErrorMentionsPolicies(t *testing.T) {
+	fm := New(Config{})
+	defer fm.Close()
+	_, err := fm.Submit(StreamConfig{DVFSPolicy: "bogus", Frames: 1})
+	if err == nil || !strings.Contains(err.Error(), dvfs.PolicyDeadlinePace) {
+		t.Errorf("submit error %v should name the valid policies", err)
+	}
+}

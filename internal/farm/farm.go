@@ -36,7 +36,8 @@ type Farm struct {
 
 	mu      sync.Mutex
 	streams map[string]*Stream
-	order   []string // submission order, for stable listings
+	pending map[string]struct{} // ids reserved by in-flight Submits
+	order   []string            // submission order, for stable listings
 	nextID  int64
 	closed  bool
 }
@@ -47,13 +48,18 @@ func New(cfg Config) *Farm {
 		cfg:     cfg,
 		gov:     NewGovernor(cfg.PowerBudget),
 		streams: make(map[string]*Stream),
+		pending: make(map[string]struct{}),
 	}
 }
 
 // Governor exposes the shared arbiter (read-mostly: stats and spans).
 func (f *Farm) Governor() *Governor { return f.gov }
 
-// Submit validates, registers and starts a stream.
+// Submit validates, registers and starts a stream. Stream construction —
+// which for a deadline-paced stream includes the per-operating-point
+// predictor calibration — runs outside the farm lock, so a slow Submit
+// never stalls metrics reads or other submissions; the id is reserved
+// while it builds.
 func (f *Farm) Submit(cfg StreamConfig) (*Stream, error) {
 	f.mu.Lock()
 	if f.closed {
@@ -68,16 +74,25 @@ func (f *Farm) Submit(cfg StreamConfig) (*Stream, error) {
 		for {
 			f.nextID++
 			cfg.ID = fmt.Sprintf("s%d", f.nextID)
-			if _, taken := f.streams[cfg.ID]; !taken {
+			if !f.idTakenLocked(cfg.ID) {
 				break
 			}
 		}
 	}
-	if _, dup := f.streams[cfg.ID]; dup {
+	if f.idTakenLocked(cfg.ID) {
 		f.mu.Unlock()
 		return nil, fmt.Errorf("%w: %q", ErrDuplicate, cfg.ID)
 	}
+	f.pending[cfg.ID] = struct{}{}
+	f.mu.Unlock()
+
 	s, err := newStream(cfg, f.gov)
+
+	f.mu.Lock()
+	delete(f.pending, cfg.ID)
+	if err == nil && f.closed {
+		err = ErrClosed
+	}
 	if err != nil {
 		f.mu.Unlock()
 		return nil, err
@@ -87,6 +102,16 @@ func (f *Farm) Submit(cfg StreamConfig) (*Stream, error) {
 	f.mu.Unlock()
 	s.start()
 	return s, nil
+}
+
+// idTakenLocked reports whether an id is in use by a live or in-flight
+// stream. Callers hold f.mu.
+func (f *Farm) idTakenLocked(id string) bool {
+	if _, live := f.streams[id]; live {
+		return true
+	}
+	_, building := f.pending[id]
+	return building
 }
 
 // Get returns a stream by id.
@@ -162,6 +187,8 @@ func (f *Farm) Metrics() Metrics {
 			agg.WallTime = t.Stages.Total
 		}
 		agg.Energy += t.Stages.Energy
+		agg.DeadlineMisses += t.DeadlineMisses
+		agg.SlackEnergy += t.SlackEnergy
 	}
 	if agg.Fused > 0 {
 		agg.EnergyPerFrame = agg.Energy / sim.Joules(agg.Fused)

@@ -132,6 +132,29 @@ func (g *Governor) AddFrame(stream string, st pipeline.StageTimes) {
 	a.frames++
 }
 
+// AddIdle accounts deadline slack: the board idles at the quiescent power
+// for t while the stream waits out the remainder of a frame period. The
+// span joins the stream's accounted period, so its mean power — and the
+// aggregate draw the power budget checks — reflects the true board draw
+// of a paced stream, not just its active spans. It returns the idle
+// energy charged, so stream telemetry stays lock-step with the ledger.
+func (g *Governor) AddIdle(stream string, t sim.Time) sim.Joules {
+	if t <= 0 {
+		return 0
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	a := g.accounts[stream]
+	if a == nil {
+		a = &account{}
+		g.accounts[stream] = a
+	}
+	e := sim.EnergyOver(power.Idle, t)
+	a.busy += t
+	a.energy += e
+	return e
+}
+
 // StreamDone marks a stream finished: its energy stays on the ledger but
 // it no longer contributes to the aggregate power draw the budget checks.
 func (g *Governor) StreamDone(stream string) {

@@ -37,6 +37,12 @@ type StreamTelemetry struct {
 	H      int    `json:"h"`
 	Levels int    `json:"levels"`
 
+	// DVFSPolicy is the stream's operating-point governor name and
+	// DeadlineMS its per-frame deadline in modeled milliseconds (0 =
+	// none).
+	DVFSPolicy string  `json:"dvfs_policy"`
+	DeadlineMS float64 `json:"deadline_ms,omitempty"`
+
 	// Running is false once the stream finished or was stopped.
 	Running bool `json:"running"`
 
@@ -51,12 +57,37 @@ type StreamTelemetry struct {
 	// frame.
 	Stages StageTimesJSON `json:"stages"`
 
-	// EnergyPerFrame is Stages.Energy / Fused (modeled J per fused frame).
+	// EnergyPerFrame is Stages.Energy / Fused (modeled J per fused frame,
+	// active spans only).
 	EnergyPerFrame sim.Joules `json:"energy_per_frame_joules"`
-	// MeanPower is Stages.Energy / Stages.Total.
+	// EnergyPerPeriod is (Stages.Energy + SlackEnergy) / Fused: modeled J
+	// per frame *period* for deadline streams, including the quiescent
+	// power spent idling out each frame's deadline slack. Zero when the
+	// stream has no deadline.
+	EnergyPerPeriod sim.Joules `json:"energy_per_period_joules,omitempty"`
+	// MeanPower is the board draw over the stream's modeled period:
+	// (Stages.Energy + SlackEnergy) / (Stages.Total + SlackTime).
 	MeanPower sim.Watts `json:"mean_power_watts"`
-	// FusedPerSecond is the modeled throughput: Fused / Stages.Total.
+	// FusedPerSecond is the modeled throughput over the same period:
+	// Fused / (Stages.Total + SlackTime). For streams without a deadline
+	// both reduce to the active-span figures.
 	FusedPerSecond float64 `json:"fused_per_second"`
+
+	// Point is the operating point of the most recent frame; OpResidency
+	// and OpFrames break fusion time and frame counts down by the
+	// operating point the DVFS governor chose.
+	Point       string              `json:"operating_point,omitempty"`
+	OpResidency map[string]sim.Time `json:"op_residency_ps,omitempty"`
+	OpFrames    map[string]int64    `json:"op_frames,omitempty"`
+
+	// DeadlineMisses counts frames whose fusion overran the deadline;
+	// SlackTime and SlackEnergy accumulate the idled-out remainder of the
+	// frames that met it. DVFSBoost is how many points above the
+	// governor's pick a deadline-paced stream has escalated after misses.
+	DeadlineMisses int64      `json:"deadline_misses"`
+	SlackTime      sim.Time   `json:"slack_ps"`
+	SlackEnergy    sim.Joules `json:"slack_energy_joules"`
+	DVFSBoost      int        `json:"dvfs_boost,omitempty"`
 
 	// Routed row statistics from the adaptive engine, keyed by engine
 	// name ("arm", "neon", "fpga").
@@ -95,6 +126,10 @@ type AggregateTelemetry struct {
 	// AggregatePower is the sum of the still-running streams' mean
 	// powers — the farm's current modeled board draw.
 	AggregatePower sim.Watts `json:"aggregate_power_watts"`
+	// DeadlineMisses and SlackEnergy roll up the deadline accounting of
+	// every stream that has one.
+	DeadlineMisses int64      `json:"deadline_misses"`
+	SlackEnergy    sim.Joules `json:"slack_energy_joules"`
 }
 
 // Metrics is the full farm snapshot served by /metrics.

@@ -4,12 +4,15 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+
+	"zynqfusion/internal/dvfs"
 )
 
 // NewServer returns the fusiond HTTP handler over a farm.
 //
 //	GET    /healthz                   liveness probe
 //	GET    /metrics                   full farm Metrics JSON
+//	GET    /dvfs                      PS operating points and governor names
 //	POST   /streams                   submit a stream (StreamConfig JSON body)
 //	GET    /streams                   list stream telemetry
 //	GET    /streams/{id}              one stream's telemetry
@@ -21,6 +24,16 @@ func NewServer(f *Farm) http.Handler {
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		w.Write([]byte("ok\n"))
+	})
+
+	mux.HandleFunc("GET /dvfs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"points":  dvfs.List(),
+			"nominal": dvfs.Nominal().Name,
+			"policies": []string{
+				dvfs.PolicyNominal, dvfs.PolicyRaceToIdle, dvfs.PolicyDeadlinePace,
+			},
+		})
 	})
 
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"zynqfusion/internal/dvfs"
 	"zynqfusion/internal/frame"
 	"zynqfusion/internal/fusion"
 	"zynqfusion/internal/pipeline"
@@ -42,6 +43,19 @@ type StreamConfig struct {
 	// free-runs bounded streams; unbounded streams default to 100 ms so a
 	// forgotten stream cannot peg the host.
 	IntervalMS int `json:"interval_ms"`
+	// DeadlineMS is the per-frame deadline in modeled milliseconds. A
+	// frame fusing longer than the deadline counts as a miss; a frame
+	// finishing early idles the board at the quiescent power for the
+	// remaining slack, which is charged to the stream so J/frame reflects
+	// the full frame period. Zero disables deadline accounting.
+	DeadlineMS float64 `json:"deadline_ms"`
+	// DVFSPolicy selects the PS operating-point governor: "" or
+	// "nominal" pins the calibrated 533 MHz point (the fixed-platform
+	// behavior), an operating-point name ("222MHz") pins that point,
+	// "race-to-idle" runs every frame at the fastest point, and
+	// "deadline-pace" picks the lowest point whose predicted frame time
+	// meets DeadlineMS (which must then be set).
+	DVFSPolicy string `json:"dvfs_policy"`
 }
 
 func (c StreamConfig) withDefaults() StreamConfig {
@@ -60,12 +74,14 @@ func (c StreamConfig) withDefaults() StreamConfig {
 	return c
 }
 
-// innerPolicy maps a StreamConfig engine name to the routing policy that
-// the stream's governed adaptive engine wraps.
-func innerPolicy(engine string) (sched.Policy, error) {
+// innerPolicyAt maps a StreamConfig engine name to the routing policy the
+// stream's governed adaptive engine wraps at one operating point. The
+// threshold crossover is frequency-aware: it shifts with the PS clock
+// because the wave engine's PL time does not scale with the PS point.
+func innerPolicyAt(engine string, op dvfs.OperatingPoint) (sched.Policy, error) {
 	switch engine {
 	case "adaptive":
-		return sched.Threshold{}, nil
+		return sched.ThresholdForClock(op.Clock()), nil
 	case "adaptive-online":
 		return sched.NewOnline(2), nil
 	case "arm", "neon", "fpga":
@@ -88,18 +104,44 @@ func fusionRule(name string) (fusion.Rule, error) {
 	}
 }
 
+// opFuser is one stream's fusion pipeline pinned at one operating point.
+// Streams build them lazily as the DVFS governor visits points; routed
+// statistics accumulate into the stream via deltas against the last
+// observed totals.
+type opFuser struct {
+	op       dvfs.OperatingPoint
+	adaptive *sched.Adaptive
+	fuser    *pipeline.Fuser
+	lastRows map[string]int64
+	lastTime map[string]sim.Time
+}
+
+// openGate always grants the FPGA; predictor calibration probes use it so
+// a prediction reflects the uncontended cost model.
+type openGate struct{}
+
+// FPGAGranted implements sched.Gate.
+func (openGate) FPGAGranted() bool { return true }
+
 // Stream is one capture→fuse→display pipeline running inside a farm. The
-// fusion engine is confined to the stream's worker goroutine; telemetry
+// fusion engines are confined to the stream's worker goroutine; telemetry
 // and snapshots are safe to read from anywhere.
 type Stream struct {
 	cfg  StreamConfig
 	gov  *Governor
 	gate *gate
 
-	fuser    *pipeline.Fuser
-	adaptive *sched.Adaptive
-	source   Source
-	queue    *frameQueue
+	dvfsGov    dvfs.Governor
+	dvfsPolicy string // normalized policy name, valid dvfs.ForPolicy input
+	deadline   sim.Time
+	predict    dvfs.Predictor
+	escalate   bool // deadline-pace: step up after a missed deadline
+	rule       fusion.Rule
+	levels     int // effective decomposition depth
+	ops        map[string]*opFuser
+
+	source Source
+	queue  *frameQueue
 
 	wantsFPGA bool
 
@@ -109,6 +151,7 @@ type Stream struct {
 	stopped  atomic.Bool
 
 	mu              sync.Mutex
+	boost           int // operating points above the governor's pick
 	captured        int64
 	fused           int64
 	droppedShutdown int64
@@ -117,6 +160,11 @@ type Stream struct {
 	stages          pipeline.StageTimes
 	routedRows      map[string]int64
 	routedTime      map[string]int64 // sim.Time as int64 for copy ease
+	residency       dvfs.Residency
+	lastPoint       string
+	deadlineMisses  int64
+	slackTime       sim.Time
+	slackEnergy     sim.Joules
 	snapshot        *frame.Frame
 	err             error
 	running         bool
@@ -131,9 +179,30 @@ func newStream(cfg StreamConfig, gov *Governor) (*Stream, error) {
 	if cfg.Levels < 0 {
 		return nil, fmt.Errorf("farm: negative decomposition level %d", cfg.Levels)
 	}
-	inner, err := innerPolicy(cfg.Engine)
-	if err != nil {
+	if cfg.DeadlineMS < 0 {
+		return nil, fmt.Errorf("farm: negative deadline %gms", cfg.DeadlineMS)
+	}
+	if _, err := innerPolicyAt(cfg.Engine, dvfs.Nominal()); err != nil {
 		return nil, err
+	}
+	dg, err := dvfs.ForPolicy(cfg.DVFSPolicy)
+	if err != nil {
+		return nil, fmt.Errorf("farm: %w", err)
+	}
+	// Telemetry reports a policy name ForPolicy accepts back, so a stream
+	// config can be round-tripped; a Fixed governor's name is its point.
+	policyName := dg.Name()
+	if fixed, ok := dg.(dvfs.Fixed); ok {
+		policyName = fixed.Point.Name
+	}
+	deadline := sim.Time(cfg.DeadlineMS * float64(sim.Millisecond))
+	// Both dynamic governors are defined against a frame deadline: pacing
+	// needs it to pick a point, racing needs it to idle out the slack.
+	switch dg.Name() {
+	case dvfs.PolicyDeadlinePace, dvfs.PolicyRaceToIdle:
+		if deadline <= 0 {
+			return nil, fmt.Errorf("farm: dvfs policy %q requires deadline_ms > 0", dg.Name())
+		}
 	}
 	rule, err := fusionRule(cfg.Rule)
 	if err != nil {
@@ -143,29 +212,115 @@ func newStream(cfg StreamConfig, gov *Governor) (*Stream, error) {
 	if err != nil {
 		return nil, err
 	}
-	g := &gate{}
-	ad := sched.NewAdaptive(sched.Governed{Inner: inner, Gate: g})
-	fu := pipeline.New(ad, pipeline.Config{Levels: cfg.Levels, Rule: rule, IncludeIO: true})
-	// Validate the effective depth (the pipeline defaults Levels 0 to 3),
-	// so an over-deep stream is refused at Submit, not at its first frame.
-	if levels, maxLv := fu.Config().Levels, wavelet.MaxLevels(cfg.W, cfg.H); levels > maxLv {
+	// Validate the effective depth (the pipeline defaults Levels 0 to
+	// DefaultLevels), so an over-deep stream is refused at Submit, not at
+	// its first frame.
+	levels := cfg.Levels
+	if levels == 0 {
+		levels = pipeline.DefaultLevels
+	}
+	if maxLv := wavelet.MaxLevels(cfg.W, cfg.H); levels > maxLv {
 		return nil, fmt.Errorf("farm: %d levels exceed wavelet.MaxLevels(%d, %d) = %d",
 			levels, cfg.W, cfg.H, maxLv)
 	}
 	s := &Stream{
-		cfg:       cfg,
-		gov:       gov,
-		gate:      g,
-		fuser:     fu,
-		adaptive:  ad,
-		source:    src,
-		queue:     newFrameQueue(cfg.QueueCap),
-		wantsFPGA: cfg.Engine != "arm" && cfg.Engine != "neon",
-		stopCh:    make(chan struct{}),
-		done:      make(chan struct{}),
-		running:   true,
+		cfg:        cfg,
+		gov:        gov,
+		gate:       &gate{},
+		dvfsGov:    dg,
+		dvfsPolicy: policyName,
+		deadline:   deadline,
+		rule:       rule,
+		levels:     levels,
+		ops:        make(map[string]*opFuser),
+		source:     src,
+		queue:      newFrameQueue(cfg.QueueCap),
+		wantsFPGA:  cfg.Engine != "arm" && cfg.Engine != "neon",
+		stopCh:     make(chan struct{}),
+		done:       make(chan struct{}),
+		running:    true,
+	}
+	if dg.Name() == dvfs.PolicyDeadlinePace {
+		if s.predict, err = calibratePredictor(cfg); err != nil {
+			return nil, err
+		}
+		// The predictor assumes an uncontended FPGA; when the stream loses
+		// the lease its frames run longer than predicted, so pacing
+		// recovers from misses by escalating (stickily) to faster points.
+		s.escalate = true
 	}
 	return s, nil
+}
+
+// ProbeFrameTime fuses one uncontended frame of the stream configuration
+// at an operating point and returns its modeled time — the cycle-based
+// cost-model probe the deadline-pace governor calibrates its predictor
+// with, exported so benchmarks and capacity planning use the same
+// numbers the governor acts on. The probe frame carries the one-time
+// costs (coefficient load, online exploration) that later frames
+// amortize, so predictions err on the safe side of a deadline.
+func ProbeFrameTime(cfg StreamConfig, op dvfs.OperatingPoint) (sim.Time, error) {
+	cfg = cfg.withDefaults()
+	inner, err := innerPolicyAt(cfg.Engine, op)
+	if err != nil {
+		return 0, err
+	}
+	rule, err := fusionRule(cfg.Rule)
+	if err != nil {
+		return 0, err
+	}
+	src, err := NewSyntheticSource(cfg.W, cfg.H, cfg.Seed)
+	if err != nil {
+		return 0, err
+	}
+	vis, ir, err := src.Next()
+	if err != nil {
+		return 0, fmt.Errorf("farm: probe capture: %w", err)
+	}
+	ad := sched.NewAdaptiveAt(sched.Governed{Inner: inner, Gate: openGate{}}, op)
+	fu := pipeline.New(ad, pipeline.Config{Levels: cfg.Levels, Rule: rule, IncludeIO: true})
+	_, st, err := fu.FuseFrames(vis, ir)
+	if err != nil {
+		return 0, fmt.Errorf("farm: probe at %s: %w", op.Name, err)
+	}
+	return st.Total, nil
+}
+
+// calibratePredictor probes every operating point and returns a
+// table-lookup predictor.
+func calibratePredictor(cfg StreamConfig) (dvfs.Predictor, error) {
+	pred := make(map[string]sim.Time)
+	for _, op := range dvfs.List() {
+		t, err := ProbeFrameTime(cfg, op)
+		if err != nil {
+			return nil, err
+		}
+		pred[op.Name] = t
+	}
+	return func(op dvfs.OperatingPoint) sim.Time { return pred[op.Name] }, nil
+}
+
+// fuserAt returns (building lazily) the stream's pipeline at an operating
+// point. Only the consumer goroutine touches the cache.
+func (s *Stream) fuserAt(op dvfs.OperatingPoint) *opFuser {
+	if of, ok := s.ops[op.Name]; ok {
+		return of
+	}
+	inner, err := innerPolicyAt(s.cfg.Engine, op)
+	if err != nil {
+		// The engine name was validated at Submit; this cannot happen.
+		panic("farm: " + err.Error())
+	}
+	ad := sched.NewAdaptiveAt(sched.Governed{Inner: inner, Gate: s.gate}, op)
+	of := &opFuser{
+		op:       op,
+		adaptive: ad,
+		fuser:    pipeline.New(ad, pipeline.Config{Levels: s.cfg.Levels, Rule: s.rule, IncludeIO: true}),
+		lastRows: make(map[string]int64),
+		lastTime: make(map[string]sim.Time),
+	}
+	s.ops[op.Name] = of
+	return of
 }
 
 // start launches the producer and consumer goroutines.
@@ -223,17 +378,25 @@ func (s *Stream) consume() {
 }
 
 func (s *Stream) fuseOne(p framePair) {
+	op := s.dvfsGov.Pick(s.predict, s.deadline)
+	s.mu.Lock()
+	boost := s.boost
+	s.mu.Unlock()
+	if boost > 0 {
+		op = dvfs.Faster(op, boost)
+	}
+	of := s.fuserAt(op)
 	granted := false
 	if s.wantsFPGA {
 		granted = s.gov.TryAcquire(s.cfg.ID)
 		s.gate.set(granted)
 	}
-	fpgaBefore := s.adaptive.RoutedTime["fpga"]
-	fused, st, err := s.fuser.FuseFrames(p.vis, p.ir)
+	fpgaBefore := of.adaptive.RoutedTime["fpga"]
+	fused, st, err := of.fuser.FuseFrames(p.vis, p.ir)
 	if s.wantsFPGA {
 		s.gate.set(false)
 		if granted {
-			s.gov.Release(s.cfg.ID, s.adaptive.RoutedTime["fpga"]-fpgaBefore)
+			s.gov.Release(s.cfg.ID, of.adaptive.RoutedTime["fpga"]-fpgaBefore)
 		}
 	}
 	if err != nil {
@@ -242,7 +405,28 @@ func (s *Stream) fuseOne(p framePair) {
 	}
 	s.gov.AddFrame(s.cfg.ID, st)
 
+	// Deadline accounting: a frame finishing early idles out its slack at
+	// the quiescent board power (the race-to-idle / pace tradeoff is
+	// meaningless without it); a frame overrunning counts as a miss.
+	var slack sim.Time
+	var slackEnergy sim.Joules
+	missed := false
+	if s.deadline > 0 {
+		if st.Total > s.deadline {
+			missed = true
+		} else {
+			slack = s.deadline - st.Total
+			slackEnergy = s.gov.AddIdle(s.cfg.ID, slack)
+		}
+	}
 	s.mu.Lock()
+	// Sticky escalation: a missed deadline raises the remaining frames'
+	// operating point while headroom exists. It never decays — under the
+	// persistent contention that causes misses, oscillating back down
+	// would just alternate misses.
+	if missed && s.escalate && dvfs.Faster(op, 1) != op {
+		s.boost++
+	}
 	s.fused++
 	s.stages.Add(st)
 	if granted {
@@ -254,12 +438,21 @@ func (s *Stream) fuseOne(p framePair) {
 		s.routedRows = make(map[string]int64)
 		s.routedTime = make(map[string]int64)
 	}
-	for k, v := range s.adaptive.RoutedRows {
-		s.routedRows[k] = v
+	for k, v := range of.adaptive.RoutedRows {
+		s.routedRows[k] += v - of.lastRows[k]
+		of.lastRows[k] = v
 	}
-	for k, v := range s.adaptive.RoutedTime {
-		s.routedTime[k] = int64(v)
+	for k, v := range of.adaptive.RoutedTime {
+		s.routedTime[k] += int64(v - of.lastTime[k])
+		of.lastTime[k] = v
 	}
+	s.residency.Add(op, st.Total)
+	s.lastPoint = op.Name
+	if missed {
+		s.deadlineMisses++
+	}
+	s.slackTime += slack
+	s.slackEnergy += slackEnergy
 	s.snapshot = fused
 	s.mu.Unlock()
 }
@@ -317,29 +510,47 @@ func (s *Stream) Telemetry() StreamTelemetry {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	t := StreamTelemetry{
-		ID:          s.cfg.ID,
-		Engine:      s.cfg.Engine,
-		W:           s.cfg.W,
-		H:           s.cfg.H,
-		Levels:      s.fuser.Config().Levels,
-		Running:     s.running,
-		Captured:    s.captured,
-		Fused:       s.fused,
-		Dropped:     s.queue.Dropped() + s.droppedShutdown,
-		QueueDepth:  s.queue.Len(),
-		Stages:      stageJSON(s.stages),
-		FPGAGrants:  s.grants,
-		FPGADenials: s.denials,
+		ID:             s.cfg.ID,
+		Engine:         s.cfg.Engine,
+		W:              s.cfg.W,
+		H:              s.cfg.H,
+		Levels:         s.levels,
+		DVFSPolicy:     s.dvfsPolicy,
+		DeadlineMS:     s.cfg.DeadlineMS,
+		Running:        s.running,
+		Captured:       s.captured,
+		Fused:          s.fused,
+		Dropped:        s.queue.Dropped() + s.droppedShutdown,
+		QueueDepth:     s.queue.Len(),
+		Stages:         stageJSON(s.stages),
+		Point:          s.lastPoint,
+		DeadlineMisses: s.deadlineMisses,
+		SlackTime:      s.slackTime,
+		SlackEnergy:    s.slackEnergy,
+		DVFSBoost:      s.boost,
+		FPGAGrants:     s.grants,
+		FPGADenials:    s.denials,
 	}
 	if s.err != nil {
 		t.Err = s.err.Error()
 	}
 	if s.fused > 0 {
 		t.EnergyPerFrame = s.stages.Energy / sim.Joules(s.fused)
+		if s.deadline > 0 {
+			t.EnergyPerPeriod = (s.stages.Energy + s.slackEnergy) / sim.Joules(s.fused)
+		}
 	}
-	if s.stages.Total > 0 {
-		t.MeanPower = sim.Watts(float64(s.stages.Energy) / s.stages.Total.Seconds())
-		t.FusedPerSecond = float64(s.fused) / s.stages.Total.Seconds()
+	// Rates and mean power are computed over the stream's full modeled
+	// period — active spans plus idled-out deadline slack — so a paced
+	// stream's throughput and board draw agree with the governor ledger.
+	// Without a deadline the slack is zero and this is the active span.
+	if period := s.stages.Total + s.slackTime; period > 0 {
+		t.MeanPower = sim.Watts(float64(s.stages.Energy+s.slackEnergy) / period.Seconds())
+		t.FusedPerSecond = float64(s.fused) / period.Seconds()
+	}
+	if res := s.residency.Time(); len(res) > 0 {
+		t.OpResidency = res
+		t.OpFrames = s.residency.Frames()
 	}
 	t.RoutedRows = make(map[string]int64, len(s.routedRows))
 	t.RoutedTime = make(map[string]sim.Time, len(s.routedTime))

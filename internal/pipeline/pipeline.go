@@ -8,10 +8,10 @@ import (
 	"errors"
 	"fmt"
 
+	"zynqfusion/internal/dvfs"
 	"zynqfusion/internal/engine"
 	"zynqfusion/internal/frame"
 	"zynqfusion/internal/fusion"
-	"zynqfusion/internal/power"
 	"zynqfusion/internal/sim"
 	"zynqfusion/internal/wavelet"
 )
@@ -31,9 +31,12 @@ type Config struct {
 	IncludeIO bool
 }
 
+// DefaultLevels is the decomposition depth a zero Config.Levels selects.
+const DefaultLevels = 3
+
 func (c Config) withDefaults() Config {
 	if c.Levels == 0 {
-		c.Levels = 3
+		c.Levels = DefaultLevels
 	}
 	if c.Banks == (wavelet.TreeBanks{}) {
 		c.Banks = wavelet.DefaultTreeBanks()
@@ -194,5 +197,24 @@ func (f *Fuser) InverseOnly(p *wavelet.DTPyramid) (*frame.Frame, sim.Time, error
 	return rec, f.drain(), nil
 }
 
-// ModePower reports the board power of the fuser's engine mode.
-func (f *Fuser) ModePower() sim.Watts { return power.ModePower(f.eng.Name()) }
+// ModePower reports the board power of the fuser's engine mode at the
+// engine's operating point (the quiescent power for composite engines
+// like the adaptive scheduler, whose draw varies over a span).
+func (f *Fuser) ModePower() sim.Watts {
+	return dvfs.ModePower(f.eng.Name(), f.Point())
+}
+
+// pointed is implemented by operating-point-aware engines.
+type pointed interface {
+	Point() dvfs.OperatingPoint
+}
+
+// Point reports the PS operating point the engine accounts this
+// pipeline's stages at. Engines that predate the DVFS subsystem report
+// the nominal 533 MHz point, the platform's fixed calibration.
+func (f *Fuser) Point() dvfs.OperatingPoint {
+	if p, ok := f.eng.(pointed); ok {
+		return p.Point()
+	}
+	return dvfs.Nominal()
+}

@@ -11,6 +11,7 @@ package power
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"zynqfusion/internal/sim"
 )
@@ -34,14 +35,14 @@ const (
 )
 
 // ModePower returns the board power for a named engine mode ("arm",
-// "neon", "fpga"); unknown names get the idle power.
+// "neon", "fpga", in any letter case); unknown names get the idle power.
 func ModePower(mode string) sim.Watts {
-	switch mode {
-	case "arm", "ARM":
+	switch strings.ToLower(mode) {
+	case "arm":
 		return ARMActive
-	case "neon", "NEON":
+	case "neon":
 		return NEONActive
-	case "fpga", "FPGA":
+	case "fpga":
 		return FPGAActive
 	default:
 		return Idle

@@ -32,8 +32,29 @@ func TestModePower(t *testing.T) {
 	if ModePower("fpga") != FPGAActive {
 		t.Error("fpga lookup")
 	}
-	if ModePower("mystery") != Idle {
-		t.Error("unknown mode should report idle power")
+}
+
+func TestModePowerCaseInsensitive(t *testing.T) {
+	// The documented modes resolve in any letter case.
+	cases := map[string]sim.Watts{
+		"Arm": ARMActive, "aRm": ARMActive,
+		"Neon": NEONActive, "NEON": NEONActive, "nEoN": NEONActive,
+		"Fpga": FPGAActive, "FPGA": FPGAActive, "fPgA": FPGAActive,
+	}
+	for name, want := range cases {
+		if got := ModePower(name); got != want {
+			t.Errorf("ModePower(%q) = %v, want %v", name, got, want)
+		}
+	}
+}
+
+func TestModePowerUnknownFallsBackToIdle(t *testing.T) {
+	// Unknown names — including near-misses and empty — report the
+	// quiescent board power rather than failing.
+	for _, name := range []string{"mystery", "", "arm64", "fpga2", "adaptive(threshold-f15-i16)"} {
+		if got := ModePower(name); got != Idle {
+			t.Errorf("ModePower(%q) = %v, want Idle %v", name, got, Idle)
+		}
 	}
 }
 

@@ -3,11 +3,10 @@ package sched
 import (
 	"fmt"
 
+	"zynqfusion/internal/dvfs"
 	"zynqfusion/internal/engine"
-	"zynqfusion/internal/power"
 	"zynqfusion/internal/signal"
 	"zynqfusion/internal/sim"
-	"zynqfusion/internal/zynq"
 )
 
 // Adaptive is an engine.Engine that routes every kernel row to the ARM,
@@ -22,10 +21,13 @@ type Adaptive struct {
 	policy Policy
 	fb     Feedback // policy's feedback hook, if any
 
-	ps   sim.Clock
-	arm  *engine.ARM
-	neon *engine.NEON
-	fpga *engine.FPGA
+	ps        sim.Clock
+	op        dvfs.OperatingPoint
+	cpuPower  sim.Watts // board power while CPU-side engines compute
+	fpgaPower sim.Watts // board power while the wave engine is held
+	arm       *engine.ARM
+	neon      *engine.NEON
+	fpga      *engine.FPGA
 
 	cpuCycles float64 // structure work
 
@@ -38,14 +40,25 @@ type Adaptive struct {
 	RoutedRows map[string]int64
 }
 
-// NewAdaptive builds the adaptive engine over fresh ARM/NEON/FPGA engines.
+// NewAdaptive builds the adaptive engine over fresh ARM/NEON/FPGA engines
+// at the nominal (533 MHz) operating point.
 func NewAdaptive(p Policy) *Adaptive {
+	return NewAdaptiveAt(p, dvfs.Nominal())
+}
+
+// NewAdaptiveAt builds the adaptive engine with its CPU-side engines and
+// the FPGA host path running at the given PS operating point. Energy
+// accounting uses the point's scaled board powers.
+func NewAdaptiveAt(p Policy, op dvfs.OperatingPoint) *Adaptive {
 	a := &Adaptive{
 		policy:     p,
-		ps:         zynq.PS(),
-		arm:        engine.NewARM(),
-		neon:       engine.NewNEON(false),
-		fpga:       engine.NewFPGA(),
+		ps:         op.Clock(),
+		op:         op,
+		cpuPower:   dvfs.ModePower("arm", op),
+		fpgaPower:  dvfs.ModePower("fpga", op),
+		arm:        engine.NewARMAt(op),
+		neon:       engine.NewNEONAt(false, op),
+		fpga:       engine.NewFPGAAt(op),
 		RoutedTime: make(map[string]sim.Time),
 		RoutedRows: make(map[string]int64),
 	}
@@ -137,8 +150,8 @@ func (a *Adaptive) Reset() sim.Time {
 	fpgaT := a.fpga.Reset()
 	total := cpu + armT + neonT + fpgaT
 	a.accTime += total
-	a.accEnergy += sim.EnergyOver(power.ARMActive, cpu+armT+neonT)
-	a.accEnergy += sim.EnergyOver(power.FPGAActive, fpgaT)
+	a.accEnergy += sim.EnergyOver(a.cpuPower, cpu+armT+neonT)
+	a.accEnergy += sim.EnergyOver(a.fpgaPower, fpgaT)
 	return total
 }
 
@@ -153,5 +166,9 @@ func (a *Adaptive) DrainEnergy() (sim.Time, sim.Joules) {
 
 // Power implements engine.Engine: the time-weighted mean power is only
 // known after a span is drained, so the instantaneous value reports the
-// base power. Pipelines use DrainEnergy for exact accounting.
-func (a *Adaptive) Power() sim.Watts { return power.ARMActive }
+// base power at the operating point. Pipelines use DrainEnergy for exact
+// accounting.
+func (a *Adaptive) Power() sim.Watts { return a.cpuPower }
+
+// Point reports the PS operating point the adaptive engine accounts at.
+func (a *Adaptive) Point() dvfs.OperatingPoint { return a.op }

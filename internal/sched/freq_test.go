@@ -1,0 +1,44 @@
+package sched
+
+import (
+	"testing"
+
+	"zynqfusion/internal/dvfs"
+	"zynqfusion/internal/zynq"
+)
+
+func TestThresholdForClockNominalMatchesDefaults(t *testing.T) {
+	th := ThresholdForClock(zynq.PS())
+	if th.FwdPairs != DefaultFwdThreshold || th.InvPairs != DefaultInvThreshold {
+		t.Fatalf("ThresholdForClock(nominal) = %+v, want defaults f%d/i%d",
+			th, DefaultFwdThreshold, DefaultInvThreshold)
+	}
+	// The nominal policy must route identically to the fixed defaults.
+	def := Threshold{}
+	for _, pairs := range []int{1, 8, 14, 15, 16, 17, 44} {
+		for _, inverse := range []bool{false, true} {
+			if th.Pick(pairs, inverse) != def.Pick(pairs, inverse) {
+				t.Errorf("routing diverges at pairs=%d inverse=%v", pairs, inverse)
+			}
+		}
+	}
+}
+
+func TestThresholdForClockMovesWithFrequency(t *testing.T) {
+	// The wave engine's PL time is fixed, so slowing the PS makes the
+	// FPGA relatively cheaper (crossover no higher) and overclocking
+	// makes it relatively dearer (crossover no lower) — and across the
+	// full ladder the crossover must actually move.
+	nominal := ThresholdForClock(dvfs.Nominal().Clock())
+	slow := ThresholdForClock(dvfs.Min().Clock())
+	fast := ThresholdForClock(dvfs.Max().Clock())
+	if slow.FwdPairs > nominal.FwdPairs || slow.InvPairs > nominal.InvPairs {
+		t.Errorf("slow-PS crossover above nominal: %+v vs %+v", slow, nominal)
+	}
+	if fast.FwdPairs < nominal.FwdPairs || fast.InvPairs < nominal.InvPairs {
+		t.Errorf("fast-PS crossover below nominal: %+v vs %+v", fast, nominal)
+	}
+	if slow == fast {
+		t.Errorf("crossover does not move across the DVFS ladder: %+v", slow)
+	}
+}

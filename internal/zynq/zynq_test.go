@@ -1,0 +1,56 @@
+package zynq
+
+import "testing"
+
+// The platform constants are the paper's fixed facts (section V and
+// Table I); this test pins them so a refactor cannot silently drift the
+// calibration anchors.
+
+func TestClockConstants(t *testing.T) {
+	if PSHz != 533e6 {
+		t.Errorf("PSHz = %g, want the 533 MHz processing-system clock", PSHz)
+	}
+	if PLHz != 100e6 {
+		t.Errorf("PLHz = %g, want the single 100 MHz wave-engine clock", PLHz)
+	}
+	if ps := PS(); ps.Name != "ps" || ps.Hertz() != PSHz {
+		t.Errorf("PS() = %+v, want ps domain at PSHz", ps)
+	}
+	if pl := PL(); pl.Name != "pl" || pl.Hertz() != PLHz {
+		t.Errorf("PL() = %+v, want pl domain at PLHz", pl)
+	}
+	// The picosecond ledger depends on these periods dividing cleanly.
+	if got := PS().Period(); int64(got) != 1876 {
+		t.Errorf("PS period = %dps, want 1876ps", int64(got))
+	}
+	if got := PL().Period(); int64(got) != 10000 {
+		t.Errorf("PL period = %dps, want 10000ps", int64(got))
+	}
+}
+
+func TestPart(t *testing.T) {
+	if Part != "xc7z020clg484-1" {
+		t.Errorf("Part = %q, want the ZC702's XC7Z020", Part)
+	}
+}
+
+func TestResourceCapacities(t *testing.T) {
+	// Table I, "Available" column for the XC7Z020.
+	if AvailRegisters != 106400 {
+		t.Errorf("AvailRegisters = %d, want 106400", AvailRegisters)
+	}
+	if AvailLUTs != 53200 {
+		t.Errorf("AvailLUTs = %d, want 53200", AvailLUTs)
+	}
+	if AvailSlices != 13300 {
+		t.Errorf("AvailSlices = %d, want 13300", AvailSlices)
+	}
+	if AvailBUFG != 32 {
+		t.Errorf("AvailBUFG = %d, want 32", AvailBUFG)
+	}
+	// Registers are two per slice-pair LUT on 7-series: the table's
+	// columns must stay consistent with each other.
+	if AvailRegisters != 2*AvailLUTs {
+		t.Errorf("register/LUT ratio inconsistent: %d vs %d", AvailRegisters, AvailLUTs)
+	}
+}

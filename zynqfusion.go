@@ -3,6 +3,7 @@ package zynqfusion
 import (
 	"fmt"
 
+	"zynqfusion/internal/dvfs"
 	"zynqfusion/internal/engine"
 	"zynqfusion/internal/farm"
 	"zynqfusion/internal/frame"
@@ -57,6 +58,28 @@ const (
 	EngineAdaptiveOnline EngineKind = "adaptive-online"
 )
 
+// OperatingPoint is one PS voltage/frequency pair of the DVFS ladder;
+// OperatingPoints lists the table (222–667 MHz, 533 MHz nominal).
+type OperatingPoint = dvfs.OperatingPoint
+
+// OperatingPoints returns the PS operating-point table in ascending
+// frequency order. The 533 MHz entry is the paper's calibrated
+// configuration; every timing and energy at that point is bit-for-bit
+// the fixed-platform model.
+func OperatingPoints() []OperatingPoint { return dvfs.List() }
+
+// DVFS governor policy names for StreamConfig.DVFSPolicy.
+const (
+	// DVFSNominal pins the calibrated 533 MHz point (the default).
+	DVFSNominal = dvfs.PolicyNominal
+	// DVFSRaceToIdle fuses every frame at the fastest point and idles
+	// out the deadline slack.
+	DVFSRaceToIdle = dvfs.PolicyRaceToIdle
+	// DVFSDeadlinePace fuses each frame at the lowest operating point
+	// whose predicted frame time meets StreamConfig.DeadlineMS.
+	DVFSDeadlinePace = dvfs.PolicyDeadlinePace
+)
+
 // Options configures a Fuser.
 type Options struct {
 	// Engine selects the execution engine (default EngineAdaptive).
@@ -71,6 +94,10 @@ type Options struct {
 	// ManualSIMD selects hand-written NEON intrinsics over the
 	// auto-vectorized kernels when Engine is EngineNEON.
 	ManualSIMD bool
+	// OperatingPoint pins the PS voltage/frequency point by name
+	// ("222MHz" … "667MHz", case-insensitive, "MHz" optional). Empty
+	// selects the nominal 533 MHz calibration point.
+	OperatingPoint string
 }
 
 // Fuser fuses visible/infrared frame pairs with full simulated platform
@@ -89,7 +116,15 @@ func New(opts Options) (*Fuser, error) {
 	if opts.Levels < 0 {
 		return nil, fmt.Errorf("zynqfusion: Options.Levels must be non-negative, got %d", opts.Levels)
 	}
-	eng, err := buildEngine(opts)
+	op := dvfs.Nominal()
+	if opts.OperatingPoint != "" {
+		var ok bool
+		if op, ok = dvfs.Lookup(opts.OperatingPoint); !ok {
+			return nil, fmt.Errorf("zynqfusion: unknown operating point %q (want one of %v)",
+				opts.OperatingPoint, dvfs.Names())
+		}
+	}
+	eng, err := buildEngine(opts, op)
 	if err != nil {
 		return nil, err
 	}
@@ -101,18 +136,20 @@ func New(opts Options) (*Fuser, error) {
 	return &Fuser{pl: pipeline.New(eng, cfg), kind: opts.Engine}, nil
 }
 
-func buildEngine(opts Options) (engine.Engine, error) {
+func buildEngine(opts Options, op dvfs.OperatingPoint) (engine.Engine, error) {
 	switch opts.Engine {
 	case EngineARM:
-		return engine.NewARM(), nil
+		return engine.NewARMAt(op), nil
 	case EngineNEON:
-		return engine.NewNEON(opts.ManualSIMD), nil
+		return engine.NewNEONAt(opts.ManualSIMD, op), nil
 	case EngineFPGA:
-		return engine.NewFPGA(), nil
+		return engine.NewFPGAAt(op), nil
 	case EngineAdaptive:
-		return sched.NewAdaptive(sched.Threshold{}), nil
+		// The NEON/FPGA crossover is frequency-aware: it shifts with the
+		// PS clock because the wave engine's PL domain does not scale.
+		return sched.NewAdaptiveAt(sched.ThresholdForClock(op.Clock()), op), nil
 	case EngineAdaptiveOnline:
-		return sched.NewAdaptive(sched.NewOnline(2)), nil
+		return sched.NewAdaptiveAt(sched.NewOnline(2), op), nil
 	default:
 		return nil, fmt.Errorf("zynqfusion: unknown engine %q", opts.Engine)
 	}
@@ -120,6 +157,10 @@ func buildEngine(opts Options) (engine.Engine, error) {
 
 // Engine reports the configured engine kind.
 func (f *Fuser) Engine() EngineKind { return f.kind }
+
+// OperatingPoint reports the PS voltage/frequency point the fuser
+// accounts at.
+func (f *Fuser) OperatingPoint() OperatingPoint { return f.pl.Point() }
 
 // Fuse combines one visible/infrared frame pair into a fused frame,
 // returning the simulated stage times and energy. The configured

@@ -5,13 +5,20 @@
 //
 //	fusionbench -exp all
 //	fusionbench -exp fig9a
+//	fusionbench -exp split-frontier -short -json out/
 //	fusionbench -list
+//
+// With -json, experiments that produce structured records additionally
+// write BENCH_<id>.json into the given directory: stable schema field,
+// deterministic key order, reviewable diffs across PRs.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"zynqfusion/internal/bench"
 )
@@ -19,7 +26,10 @@ import (
 func main() {
 	exp := flag.String("exp", "all", "experiment id (see -list) or 'all'")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	short := flag.Bool("short", false, "trim sweeps to smoke-sized grids")
+	jsonDir := flag.String("json", "", "also write BENCH_<id>.json records into this directory")
 	flag.Parse()
+	bench.Short = *short
 
 	if *list {
 		for _, e := range bench.All() {
@@ -32,6 +42,11 @@ func main() {
 		fmt.Printf("=== %s: %s ===\n", e.ID, e.Title)
 		if err := e.Run(os.Stdout); err != nil {
 			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		if *jsonDir != "" && e.JSON != nil {
+			if err := writeResult(*jsonDir, e); err != nil {
+				return fmt.Errorf("%s: %w", e.ID, err)
+			}
 		}
 		fmt.Println()
 		return nil
@@ -55,4 +70,27 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+}
+
+// writeResult emits one experiment's structured record. json.Marshal
+// serializes struct fields in declaration order and sorts map keys, so
+// repeated runs of an unchanged model produce byte-identical files.
+func writeResult(dir string, e bench.Experiment) error {
+	v, err := e.JSON()
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(dir, "BENCH_"+e.ID+".json")
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
 }

@@ -23,9 +23,11 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"os/signal"
@@ -60,6 +62,26 @@ func newDaemon(opt options) (*farm.Farm, http.Handler, error) {
 	return fm, farm.NewServer(fm), nil
 }
 
+// drain is the graceful-shutdown path: stop accepting HTTP work, stop and
+// wait out every stream (Close flips /healthz to draining first, so load
+// balancers see the readiness change while in-flight frames finish), then
+// flush the final farm metrics so the run's accounting survives the
+// process. srv may be nil in tests that drive the handler directly.
+func drain(fm *farm.Farm, srv *http.Server, out io.Writer) error {
+	if srv != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}
+	fm.Close()
+	m := fm.Metrics()
+	fmt.Fprintf(out, "fusiond: drained %d streams: fused %d, dropped %d, %s, final metrics:\n",
+		m.Aggregate.Streams, m.Aggregate.Fused, m.Aggregate.Dropped, m.Aggregate.Energy)
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m)
+}
+
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	opt := options{}
@@ -90,9 +112,9 @@ func main() {
 		}
 	case sig := <-sigCh:
 		fmt.Printf("fusiond: %s, draining\n", sig)
-		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-		defer cancel()
-		srv.Shutdown(ctx)
-		fm.Close()
+		if err := drain(fm, srv, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "fusiond: metrics flush:", err)
+			os.Exit(1)
+		}
 	}
 }

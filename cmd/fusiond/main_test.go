@@ -70,6 +70,60 @@ func TestNewDaemonSmoke(t *testing.T) {
 	}
 }
 
+// TestGracefulDrain exercises the SIGTERM/SIGINT path below the signal:
+// drain stops every stream, flips /healthz to draining (503), and flushes
+// the final farm metrics so the run's accounting is not lost with the
+// process.
+func TestGracefulDrain(t *testing.T) {
+	fm, handler, err := newDaemon(options{queueCap: 4, streams: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(path string) *httptest.ResponseRecorder {
+		t.Helper()
+		rec := httptest.NewRecorder()
+		handler.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+		return rec
+	}
+	if rec := get("/healthz"); rec.Code != http.StatusOK {
+		t.Fatalf("healthz before drain = %d", rec.Code)
+	}
+
+	var out strings.Builder
+	if err := drain(fm, nil, &out); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+
+	// Streams are stopped and the readiness probe reports draining.
+	for _, s := range fm.List() {
+		select {
+		case <-s.Done():
+		default:
+			t.Errorf("stream %s still running after drain", s.ID())
+		}
+	}
+	if rec := get("/healthz"); rec.Code != http.StatusServiceUnavailable ||
+		!strings.Contains(rec.Body.String(), "draining") {
+		t.Errorf("healthz after drain = %d %q", rec.Code, rec.Body.String())
+	}
+	if _, err := fm.Submit(farm.StreamConfig{}); err == nil {
+		t.Error("drained farm accepted a stream")
+	}
+
+	// The flushed metrics are parseable and carry the final stream count.
+	flushed := out.String()
+	if !strings.Contains(flushed, "drained 2 streams") {
+		t.Errorf("drain summary missing: %q", flushed)
+	}
+	var m farm.Metrics
+	if err := json.Unmarshal([]byte(flushed[strings.Index(flushed, "{"):]), &m); err != nil {
+		t.Fatalf("flushed metrics not JSON: %v", err)
+	}
+	if m.Aggregate.Streams != 2 || m.Aggregate.Active != 0 {
+		t.Errorf("flushed aggregate = %+v", m.Aggregate)
+	}
+}
+
 func TestNewDaemonFarmOwnership(t *testing.T) {
 	// The caller owns the returned farm: after Close it must refuse
 	// further submissions.

@@ -109,11 +109,21 @@ func Sweep(kinds []EngineKind, sizes []Size) (map[Size]map[EngineKind]Measuremen
 	return out, nil
 }
 
+// ResultSchema is the stable schema id stamped into every structured
+// experiment record (the BENCH_<id>.json files): consumers match on it,
+// and diffs across PRs stay reviewable because the record shape only
+// changes with the schema version.
+const ResultSchema = "zynqfusion/bench-result/v1"
+
 // Experiment regenerates one table or figure.
 type Experiment struct {
 	ID    string
 	Title string
 	Run   func(w io.Writer) error
+	// JSON produces the experiment's structured result record (stamped
+	// with ResultSchema, deterministic key order) for BENCH_<id>.json
+	// emission; nil for text-only experiments.
+	JSON func() (any, error)
 }
 
 // All returns every experiment in stable order.
@@ -135,6 +145,9 @@ func All() []Experiment {
 		{ID: "farm-scale", Title: "Extension — farm scaling: throughput and J/frame vs stream count", Run: RunFarmScale},
 		{ID: "dvfs-pareto", Title: "Extension — DVFS energy-vs-deadline Pareto frontier (J/frame vs fps target)", Run: RunDVFSPareto},
 		{ID: "dvfs-farm", Title: "Extension — DVFS deadline scenarios: tight/loose deadlines x 1/4/16 streams", Run: RunDVFSFarm},
+		{ID: "split-frontier", Title: "Extension — cooperative CPU+FPGA split frontier: ratio x size x operating point",
+			Run:  RunSplitFrontier,
+			JSON: func() (any, error) { return SplitFrontier() }},
 	}
 	return exps // declaration order
 }

@@ -22,7 +22,7 @@ func TestAllExperimentsRun(t *testing.T) {
 func TestFindExperiments(t *testing.T) {
 	for _, id := range []string{"fig2", "table1", "fig9a", "fig9b", "fig9c", "fig10",
 		"adaptive", "levels", "ablation-bus", "ablation-buffer", "ablation-cmdqueue",
-		"ablation-fixedpoint", "ablation-quality", "farm-scale"} {
+		"ablation-fixedpoint", "ablation-quality", "farm-scale", "split-frontier"} {
 		if _, ok := Find(id); !ok {
 			t.Errorf("experiment %q missing", id)
 		}

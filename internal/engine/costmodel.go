@@ -68,6 +68,25 @@ const (
 	// the done flag is seen.
 	StatusPolls = 2
 
+	// PLFwdPairNominalCycles and PLInvPairNominalCycles are the wave
+	// engine's effective PL time per output pair — transfer plus compute in
+	// its fixed 100 MHz clock domain — expressed as PS-cycle equivalents at
+	// the nominal 533 MHz clock. They are calibrated so the frequency-aware
+	// NEON/FPGA crossover (sched.ThresholdForClock) lands exactly on the
+	// default break-even widths at the nominal point; the cooperative split
+	// policies (internal/split) estimate the FPGA lane rate from the same
+	// numbers.
+	PLFwdPairNominalCycles = 40.0
+	PLInvPairNominalCycles = 53.625
+
+	// SplitSyncCycles is the per-pass merge/sync overhead of cooperative
+	// CPU+FPGA split execution: when a level's rows are partitioned across
+	// the NEON and FPGA lanes, the core that finishes first waits on the
+	// other lane's completion flag and the interleaved outputs are stitched
+	// back into one subband layout. Charged once per pass that actually
+	// used both lanes; exclusive (degenerate) routing never pays it.
+	SplitSyncCycles = 2400.0
+
 	// Downstream pipeline stage rates (PS cycles per frame pixel),
 	// calibrated against the Fig. 2 profile: the fusion rule, capture/
 	// greyscale conversion, and the OpenCV display path.

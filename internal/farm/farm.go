@@ -66,7 +66,9 @@ func (f *Farm) Submit(cfg StreamConfig) (*Stream, error) {
 		f.mu.Unlock()
 		return nil, ErrClosed
 	}
-	if cfg.QueueCap <= 0 && f.cfg.DefaultQueueCap > 0 {
+	// Only an unset (zero) depth takes the farm default; a negative depth
+	// must reach stream validation and be rejected, not papered over.
+	if cfg.QueueCap == 0 && f.cfg.DefaultQueueCap > 0 {
 		cfg.QueueCap = f.cfg.DefaultQueueCap
 	}
 	if cfg.ID == "" {
@@ -161,6 +163,14 @@ func (f *Farm) Close() {
 		s.Stop()
 	}
 	f.Wait()
+}
+
+// Closed reports whether the farm has begun shutting down: submissions are
+// refused and the health endpoint flips to draining.
+func (f *Farm) Closed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.closed
 }
 
 // Metrics snapshots the whole farm: per-stream telemetry sorted by id,

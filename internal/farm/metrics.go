@@ -6,7 +6,9 @@ import (
 )
 
 // StageTimesJSON is the JSON shape of a pipeline.StageTimes record:
-// stage spans in modeled picoseconds plus the drained energy in joules.
+// stage spans in modeled picoseconds plus the drained energy in joules
+// and the cooperative-split lane accounting (zero unless the stream
+// partitions levels across NEON and the wave engine).
 type StageTimesJSON struct {
 	Capture sim.Time   `json:"capture_ps"`
 	Forward sim.Time   `json:"forward_ps"`
@@ -15,17 +17,27 @@ type StageTimesJSON struct {
 	Display sim.Time   `json:"display_ps"`
 	Total   sim.Time   `json:"total_ps"`
 	Energy  sim.Joules `json:"energy_joules"`
+
+	// CPUBusy and FPGABusy are the per-lane busy times of cooperative
+	// split execution; Overlap is the concurrently-run span already netted
+	// out of Total.
+	CPUBusy  sim.Time `json:"cpu_busy_ps,omitempty"`
+	FPGABusy sim.Time `json:"fpga_busy_ps,omitempty"`
+	Overlap  sim.Time `json:"overlap_ps,omitempty"`
 }
 
 func stageJSON(st pipeline.StageTimes) StageTimesJSON {
 	return StageTimesJSON{
-		Capture: st.Capture,
-		Forward: st.Forward,
-		Fuse:    st.Fuse,
-		Inverse: st.Inverse,
-		Display: st.Display,
-		Total:   st.Total,
-		Energy:  st.Energy,
+		Capture:  st.Capture,
+		Forward:  st.Forward,
+		Fuse:     st.Fuse,
+		Inverse:  st.Inverse,
+		Display:  st.Display,
+		Total:    st.Total,
+		Energy:   st.Energy,
+		CPUBusy:  st.CPUBusy,
+		FPGABusy: st.FPGABusy,
+		Overlap:  st.Overlap,
 	}
 }
 
@@ -96,6 +108,13 @@ type StreamTelemetry struct {
 	// FPGAShare is the fraction of routed kernel time spent on the wave
 	// engine.
 	FPGAShare float64 `json:"fpga_share"`
+	// SplitRatio is the most recent frame's FPGA row share: the fraction
+	// of its kernel rows that ran on the wave engine. Under a cooperative
+	// split policy holding the lease it is the live partition; per-width
+	// routing (the adaptive threshold) also yields fractional values, so
+	// pair it with Stages.Overlap > 0 to detect genuinely concurrent
+	// execution.
+	SplitRatio float64 `json:"split_ratio"`
 
 	// FPGAGrants and FPGADenials count this stream's frame-level lease
 	// outcomes.

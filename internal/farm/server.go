@@ -10,7 +10,7 @@ import (
 
 // NewServer returns the fusiond HTTP handler over a farm.
 //
-//	GET    /healthz                   liveness probe
+//	GET    /healthz                   liveness/readiness probe (503 while draining)
 //	GET    /metrics                   full farm Metrics JSON
 //	GET    /dvfs                      PS operating points and governor names
 //	POST   /streams                   submit a stream (StreamConfig JSON body)
@@ -23,6 +23,14 @@ func NewServer(f *Farm) http.Handler {
 
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		// Liveness and readiness in one probe: a draining farm answers but
+		// refuses new work, so load balancers stop routing to it while
+		// in-flight streams finish.
+		if f.Closed() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			w.Write([]byte("draining\n"))
+			return
+		}
 		w.Write([]byte("ok\n"))
 	})
 

@@ -12,6 +12,7 @@ import (
 	"zynqfusion/internal/pipeline"
 	"zynqfusion/internal/sched"
 	"zynqfusion/internal/sim"
+	"zynqfusion/internal/split"
 	"zynqfusion/internal/wavelet"
 )
 
@@ -25,10 +26,12 @@ type StreamConfig struct {
 	// Seed drives the stream's deterministic synthetic scene.
 	Seed int64 `json:"seed"`
 	// Engine selects the routing policy inside the stream's adaptive
-	// engine: "adaptive" (default), "adaptive-online", or the static
-	// "arm", "neon", "fpga". Every stream runs behind the governor, so
-	// even "fpga" degrades to NEON while another stream holds the wave
-	// engine.
+	// engine: "adaptive" (default), "adaptive-online", the static "arm",
+	// "neon", "fpga", or the cooperative split policies "split-oracle",
+	// "split-adaptive" and "split-energy", which partition each wavelet
+	// level across NEON and the wave engine concurrently. Every stream
+	// runs behind the governor, so even "fpga" (or a split's FPGA share)
+	// degrades to NEON while another stream holds the wave engine.
 	Engine string `json:"engine"`
 	// Levels is the DT-CWT decomposition depth (default 3).
 	Levels int `json:"levels"`
@@ -36,8 +39,9 @@ type StreamConfig struct {
 	Rule string `json:"rule"`
 	// Frames bounds the stream length; 0 runs until stopped.
 	Frames int64 `json:"frames"`
-	// QueueCap is the capture queue depth before drop-oldest kicks in
-	// (default 4).
+	// QueueCap is the capture queue depth before drop-oldest kicks in.
+	// Zero selects the default (4, or the farm's DefaultQueueCap);
+	// negative depths are rejected at Submit.
 	QueueCap int `json:"queue_cap"`
 	// IntervalMS paces the capture source in wall milliseconds. Zero
 	// free-runs bounded streams; unbounded streams default to 100 ms so a
@@ -86,6 +90,12 @@ func innerPolicyAt(engine string, op dvfs.OperatingPoint) (sched.Policy, error) 
 		return sched.NewOnline(2), nil
 	case "arm", "neon", "fpga":
 		return sched.Static{Engine: engine}, nil
+	case "split-oracle":
+		return sched.SplitDriven{S: split.NewOracle(op)}, nil
+	case "split-adaptive":
+		return sched.SplitDriven{S: split.NewAdaptiveSplit(op)}, nil
+	case "split-energy":
+		return sched.SplitDriven{S: split.NewEnergySplit(op)}, nil
 	default:
 		return nil, fmt.Errorf("farm: unknown engine %q", engine)
 	}
@@ -162,6 +172,7 @@ type Stream struct {
 	routedTime      map[string]int64 // sim.Time as int64 for copy ease
 	residency       dvfs.Residency
 	lastPoint       string
+	lastSplit       float64 // FPGA row share of the most recent frame
 	deadlineMisses  int64
 	slackTime       sim.Time
 	slackEnergy     sim.Joules
@@ -171,7 +182,19 @@ type Stream struct {
 }
 
 // newStream validates the configuration and builds the stream, unstarted.
+// Capacity knobs are checked on the raw config, before defaults fill in,
+// so a negative queue depth or frame budget is refused with a descriptive
+// error at Submit instead of silently becoming the default.
 func newStream(cfg StreamConfig, gov *Governor) (*Stream, error) {
+	if cfg.QueueCap < 0 {
+		return nil, fmt.Errorf("farm: queue_cap must be non-negative, got %d (zero selects the default depth)", cfg.QueueCap)
+	}
+	if cfg.Frames < 0 {
+		return nil, fmt.Errorf("farm: frames must be non-negative, got %d (zero runs until stopped)", cfg.Frames)
+	}
+	if cfg.IntervalMS < 0 {
+		return nil, fmt.Errorf("farm: interval_ms must be non-negative, got %d (zero free-runs bounded streams)", cfg.IntervalMS)
+	}
 	cfg = cfg.withDefaults()
 	if cfg.W <= 0 || cfg.H <= 0 {
 		return nil, fmt.Errorf("farm: bad stream geometry %dx%d", cfg.W, cfg.H)
@@ -438,9 +461,18 @@ func (s *Stream) fuseOne(p framePair) {
 		s.routedRows = make(map[string]int64)
 		s.routedTime = make(map[string]int64)
 	}
+	var frameRows, frameFPGARows int64
 	for k, v := range of.adaptive.RoutedRows {
-		s.routedRows[k] += v - of.lastRows[k]
+		d := v - of.lastRows[k]
+		s.routedRows[k] += d
 		of.lastRows[k] = v
+		frameRows += d
+		if k == "fpga" {
+			frameFPGARows += d
+		}
+	}
+	if frameRows > 0 {
+		s.lastSplit = float64(frameFPGARows) / float64(frameRows)
 	}
 	for k, v := range of.adaptive.RoutedTime {
 		s.routedTime[k] += int64(v - of.lastTime[k])
@@ -530,6 +562,7 @@ func (s *Stream) Telemetry() StreamTelemetry {
 		DVFSBoost:      s.boost,
 		FPGAGrants:     s.grants,
 		FPGADenials:    s.denials,
+		SplitRatio:     s.lastSplit,
 	}
 	if s.err != nil {
 		t.Err = s.err.Error()

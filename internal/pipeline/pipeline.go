@@ -48,7 +48,8 @@ func (c Config) withDefaults() Config {
 }
 
 // StageTimes reports the simulated cost of one fused frame, split by
-// pipeline stage (the Fig. 2 decomposition).
+// pipeline stage (the Fig. 2 decomposition), plus the per-engine
+// concurrent-lane accounting of cooperative CPU+FPGA split execution.
 type StageTimes struct {
 	Capture sim.Time
 	Forward sim.Time // both source transforms
@@ -57,6 +58,17 @@ type StageTimes struct {
 	Display sim.Time
 	Total   sim.Time
 	Energy  sim.Joules
+
+	// CPUBusy and FPGABusy are the frame's per-lane busy times under a
+	// lane-aware engine (the adaptive scheduler): CPU-side structure, ARM
+	// and NEON work on one lane, the wave engine plus its host driving on
+	// the other. Overlap is the span during which both lanes ran
+	// concurrently; Total already nets it out (Total = CPUBusy + FPGABusy
+	// − Overlap). All three are zero for single-engine fusers, whose Total
+	// is the single lane.
+	CPUBusy  sim.Time
+	FPGABusy sim.Time
+	Overlap  sim.Time
 }
 
 // Add accumulates other into s.
@@ -68,6 +80,9 @@ func (s *StageTimes) Add(other StageTimes) {
 	s.Display += other.Display
 	s.Total += other.Total
 	s.Energy += other.Energy
+	s.CPUBusy += other.CPUBusy
+	s.FPGABusy += other.FPGABusy
+	s.Overlap += other.Overlap
 }
 
 // energyDrainer is implemented by engines whose power level varies over
@@ -75,6 +90,13 @@ func (s *StageTimes) Add(other StageTimes) {
 // mode power.
 type energyDrainer interface {
 	DrainEnergy() (sim.Time, sim.Joules)
+}
+
+// laneDrainer is implemented by engines that drive the CPU and FPGA lanes
+// concurrently (the adaptive scheduler under a cooperative split policy);
+// it reports per-lane busy time and the overlapped span of a drained run.
+type laneDrainer interface {
+	DrainLanes() (cpu, fpga, overlap sim.Time)
 }
 
 // Fuser runs the fusion pipeline on one engine.
@@ -120,6 +142,9 @@ func (f *Fuser) FuseFrames(vis, ir *frame.Frame) (*frame.Frame, StageTimes, erro
 	var st StageTimes
 	px := float64(vis.W * vis.H)
 	f.drain() // discard anything pending
+	if ld, ok := f.eng.(laneDrainer); ok {
+		ld.DrainLanes() // discard pending lane accounting with it
+	}
 
 	if f.cfg.IncludeIO {
 		f.eng.ChargeCPUCycles(2 * px * engine.CaptureCyclesPerPixel)
@@ -156,6 +181,9 @@ func (f *Fuser) FuseFrames(vis, ir *frame.Frame) (*frame.Frame, StageTimes, erro
 
 	st.Total = st.Capture + st.Forward + st.Fuse + st.Inverse + st.Display
 	st.Energy = f.energyFor(st.Total)
+	if ld, ok := f.eng.(laneDrainer); ok {
+		st.CPUBusy, st.FPGABusy, st.Overlap = ld.DrainLanes()
+	}
 	return rec, st, nil
 }
 

@@ -5,8 +5,10 @@ import (
 
 	"zynqfusion/internal/dvfs"
 	"zynqfusion/internal/engine"
+	"zynqfusion/internal/power"
 	"zynqfusion/internal/signal"
 	"zynqfusion/internal/sim"
+	"zynqfusion/internal/split"
 )
 
 // Adaptive is an engine.Engine that routes every kernel row to the ARM,
@@ -14,12 +16,26 @@ import (
 // system of the paper's conclusion. Structure work (padding, gathers, the
 // fusion rule) always runs on the CPU.
 //
+// When the policy is partition-aware (Partitioner), a row class may be
+// split across the NEON and FPGA lanes instead of routed exclusively: the
+// partition's share of rows interleaves onto the wave engine while the
+// remainder runs on NEON, and the two lanes are charged as running
+// concurrently — one A9 core drives the accelerator while the other runs
+// SIMD rows. A pass (a run of same-class rows) then costs
+// max(cpuTime, fpgaTime) plus the calibrated merge/sync overhead
+// (engine.SplitSyncCycles), and the overlapped span is rebated at the
+// quiescent board power, since it no longer passes on the wall clock.
+// Degenerate (0%/100%) partitions take the classic exclusive path and
+// reproduce it bit-for-bit: no merge charge, no overlap.
+//
 // Energy accounting differs from the fixed ARM+FPGA mode: the adaptive
 // system clock-gates the wave engine while rows run on NEON, so only the
 // spans actually spent in the FPGA draw the +19.2 mW.
 type Adaptive struct {
-	policy Policy
-	fb     Feedback // policy's feedback hook, if any
+	policy  Policy
+	fb      Feedback    // policy's feedback hook, if any
+	parts   Partitioner // policy's partition surface, if any
+	splitFB split.Feedback
 
 	ps        sim.Clock
 	op        dvfs.OperatingPoint
@@ -31,13 +47,39 @@ type Adaptive struct {
 
 	cpuCycles float64 // structure work
 
-	// Drained accumulators (filled on Reset, emptied on DrainEnergy).
-	accTime   sim.Time
-	accEnergy sim.Joules
+	// Cooperative-split pass state: a pass is a maximal run of same-class
+	// rows; its two lanes overlap when both ran.
+	passOpen bool
+	passKey  rowClass
+	pass     laneStat
+	carry    map[rowClass]float64 // error-diffusion accumulators
+	overlap  sim.Time             // closed-pass overlap since the last Reset
 
-	// Per-engine routed-time statistics since construction.
+	// Drained accumulators (filled on Reset, emptied on DrainEnergy /
+	// DrainLanes).
+	accTime     sim.Time
+	accEnergy   sim.Joules
+	laneCPU     sim.Time
+	laneFPGA    sim.Time
+	laneOverlap sim.Time
+
+	// Per-engine routed statistics since construction.
 	RoutedTime map[string]sim.Time
 	RoutedRows map[string]int64
+	// SplitPasses counts passes that actually used both lanes.
+	SplitPasses int64
+}
+
+// rowClass identifies one row workload shape.
+type rowClass struct {
+	pairs   int
+	inverse bool
+}
+
+// laneStat accumulates one pass's per-lane rows and times.
+type laneStat struct {
+	neonRows, fpgaRows int
+	neonT, fpgaT       sim.Time
 }
 
 // NewAdaptive builds the adaptive engine over fresh ARM/NEON/FPGA engines
@@ -59,10 +101,13 @@ func NewAdaptiveAt(p Policy, op dvfs.OperatingPoint) *Adaptive {
 		arm:        engine.NewARMAt(op),
 		neon:       engine.NewNEONAt(false, op),
 		fpga:       engine.NewFPGAAt(op),
+		carry:      make(map[rowClass]float64),
 		RoutedTime: make(map[string]sim.Time),
 		RoutedRows: make(map[string]int64),
 	}
 	a.fb, _ = p.(Feedback)
+	a.parts, _ = p.(Partitioner)
+	a.splitFB, _ = p.(split.Feedback)
 	return a
 }
 
@@ -72,7 +117,16 @@ func (a *Adaptive) Name() string { return "adaptive(" + a.policy.Name() + ")" }
 // Policy returns the routing policy.
 func (a *Adaptive) Policy() Policy { return a.policy }
 
+// route resolves one row's engine: a partition-aware policy may split the
+// class across the NEON and FPGA lanes; otherwise the classic exclusive
+// Pick applies.
 func (a *Adaptive) route(pairs int, inverse bool) engine.Engine {
+	if a.parts != nil {
+		if p, use := a.parts.Partition(pairs, inverse); use {
+			return a.splitRoute(rowClass{pairs: pairs, inverse: inverse}, p.Clamp())
+		}
+	}
+	a.closePass() // leaving partitioned territory ends any open pass
 	switch a.policy.Pick(pairs, inverse) {
 	case "arm":
 		return a.arm
@@ -82,6 +136,62 @@ func (a *Adaptive) route(pairs int, inverse bool) engine.Engine {
 		return a.neon
 	default:
 		panic(fmt.Sprintf("sched: policy %q picked unknown engine", a.policy.Name()))
+	}
+}
+
+// splitRoute interleaves a partitioned class's rows across the two lanes
+// with an error-diffusion accumulator, so any fraction lands exactly over
+// a pass and the row order is deterministic. A class change closes the
+// running pass (the lanes must sync before the next level/direction
+// starts).
+func (a *Adaptive) splitRoute(k rowClass, p split.Partition) engine.Engine {
+	if a.passOpen && a.passKey != k {
+		a.closePass()
+	}
+	if !a.passOpen {
+		a.passOpen = true
+		a.passKey = k
+		a.pass = laneStat{}
+	}
+	c := a.carry[k] + p.FPGA
+	// 1e-9 absorbs float accumulation error so FPGA=1.0 routes every row.
+	if c >= 1-1e-9 {
+		a.carry[k] = c - 1
+		return a.fpga
+	}
+	a.carry[k] = c
+	return a.neon
+}
+
+// closePass ends the running pass: the lanes sync, the overlapped span
+// (both lanes busy, charged once on the wall clock) is recorded, the
+// merge/stitch overhead is charged to the CPU, and the pass is reported
+// to a learning split policy. Single-lane passes close for free — the
+// degenerate path stays bit-for-bit the exclusive one.
+func (a *Adaptive) closePass() {
+	if !a.passOpen {
+		return
+	}
+	ps := a.pass
+	k := a.passKey
+	a.passOpen = false
+	a.pass = laneStat{}
+	if ps.neonRows > 0 && ps.fpgaRows > 0 {
+		ov := ps.neonT
+		if ps.fpgaT < ov {
+			ov = ps.fpgaT
+		}
+		a.overlap += ov
+		a.cpuCycles += engine.SplitSyncCycles
+		a.SplitPasses++
+	}
+	if a.splitFB != nil {
+		a.splitFB.ObservePass(k.pairs, k.inverse, split.PassObservation{
+			NEONRows: ps.neonRows,
+			FPGARows: ps.fpgaRows,
+			NEONTime: ps.neonT,
+			FPGATime: ps.fpgaT,
+		})
 	}
 }
 
@@ -120,6 +230,16 @@ func (a *Adaptive) Synthesize(sl, sh *signal.Taps, plo, phi []float32, out []flo
 func (a *Adaptive) observe(pairs int, inverse bool, e engine.Engine, cost sim.Time) {
 	a.RoutedTime[e.Name()] += cost
 	a.RoutedRows[e.Name()]++
+	if a.passOpen {
+		switch e.Name() {
+		case "neon":
+			a.pass.neonRows++
+			a.pass.neonT += cost
+		case "fpga":
+			a.pass.fpgaRows++
+			a.pass.fpgaT += cost
+		}
+	}
 	if a.fb != nil {
 		a.fb.Observe(pairs, inverse, e.Name(), cost)
 	}
@@ -133,25 +253,46 @@ func (a *Adaptive) ChargeCPU(samples int) {
 // ChargeCPUCycles implements engine.Engine.
 func (a *Adaptive) ChargeCPUCycles(cycles float64) { a.cpuCycles += cycles }
 
-// Elapsed implements engine.Engine: the engines execute serially from the
-// CPU's point of view, so spans add.
+// Elapsed implements engine.Engine: the CPU-side spans add serially, and
+// closed cooperative passes rebate the overlapped span their two lanes
+// shared. An open pass's overlap is only known once it closes (Reset
+// closes it).
 func (a *Adaptive) Elapsed() sim.Time {
-	return a.ps.CyclesF(a.cpuCycles) + a.arm.Elapsed() + a.neon.Elapsed() + a.fpga.Elapsed()
+	return a.ps.CyclesF(a.cpuCycles) + a.arm.Elapsed() + a.neon.Elapsed() + a.fpga.Elapsed() - a.overlap
 }
 
 // Reset implements engine.Engine. The drained span's energy (CPU and NEON
-// spans at base power, FPGA spans at the wave-engine power) accumulates
-// for DrainEnergy.
+// spans at base power, FPGA spans at the wave-engine power, the
+// cooperative overlap rebated at the quiescent power) accumulates for
+// DrainEnergy, and the per-lane concurrent accounting for DrainLanes.
 func (a *Adaptive) Reset() sim.Time {
+	a.closePass()
 	cpu := a.ps.CyclesF(a.cpuCycles)
 	a.cpuCycles = 0
 	armT := a.arm.Reset()
 	neonT := a.neon.Reset()
 	fpgaT := a.fpga.Reset()
-	total := cpu + armT + neonT + fpgaT
+	overlap := a.overlap
+	a.overlap = 0
+	// The lanes' pass deltas telescope to at most their drained totals;
+	// clamp anyway so the rebate can never exceed either lane.
+	if overlap > neonT {
+		overlap = neonT
+	}
+	if overlap > fpgaT {
+		overlap = fpgaT
+	}
+	total := cpu + armT + neonT + fpgaT - overlap
 	a.accTime += total
 	a.accEnergy += sim.EnergyOver(a.cpuPower, cpu+armT+neonT)
 	a.accEnergy += sim.EnergyOver(a.fpgaPower, fpgaT)
+	// Both lanes' dynamic power is genuinely spent; only the quiescent
+	// board draw over the overlapped span is saved, because that span now
+	// passes once on the wall clock instead of twice.
+	a.accEnergy -= sim.EnergyOver(power.Idle, overlap)
+	a.laneCPU += cpu + armT + neonT
+	a.laneFPGA += fpgaT
+	a.laneOverlap += overlap
 	return total
 }
 
@@ -162,6 +303,18 @@ func (a *Adaptive) DrainEnergy() (sim.Time, sim.Joules) {
 	t, e := a.accTime, a.accEnergy
 	a.accTime, a.accEnergy = 0, 0
 	return t, e
+}
+
+// DrainLanes returns and clears the concurrent-lane accounting of the
+// spans drained so far: total CPU-side busy time (structure + ARM + NEON),
+// FPGA lane busy time, and the overlapped span during which both lanes ran
+// (already netted out of the drained totals). It drains any un-Reset work
+// first.
+func (a *Adaptive) DrainLanes() (cpu, fpga, overlap sim.Time) {
+	a.Reset()
+	cpu, fpga, overlap = a.laneCPU, a.laneFPGA, a.laneOverlap
+	a.laneCPU, a.laneFPGA, a.laneOverlap = 0, 0, 0
+	return cpu, fpga, overlap
 }
 
 // Power implements engine.Engine: the time-weighted mean power is only

@@ -18,15 +18,12 @@ import (
 //	(NEONRowOverhead + NEONPair·p)/f  =  Syscall/f + p·τPL
 //
 // gives p = (Syscall − NEONRowOverhead) / (NEONPair − τPL·f), with τPL
-// the effective PL seconds per output pair. τPL is expressed below as
-// PS-cycle equivalents at the nominal clock, calibrated so that
+// the effective PL seconds per output pair. τPL is expressed as PS-cycle
+// equivalents at the nominal clock (engine.PLFwdPairNominalCycles /
+// engine.PLInvPairNominalCycles), calibrated so that
 // ThresholdForClock(zynq.PS()) lands exactly on the default crossovers
 // (15 forward / 16 inverse) — the DVFS-aware path is bit-for-bit the
 // fixed path at 533 MHz.
-const (
-	plFwdPairNominalCycles = 40.0
-	plInvPairNominalCycles = 53.625
-)
 
 // ThresholdForClock returns the Threshold policy with the NEON/FPGA
 // crossover widths computed for the given PS clock. At the nominal
@@ -37,11 +34,11 @@ func ThresholdForClock(ps sim.Clock) Threshold {
 		FwdPairs: crossoverPairs(
 			float64(engine.SyscallCycles)-engine.NEONRowOverheadCycles,
 			engine.NEONFwdPairCycles,
-			plFwdPairNominalCycles*ratio),
+			engine.PLFwdPairNominalCycles*ratio),
 		InvPairs: crossoverPairs(
 			float64(engine.SyscallCycles+engine.InverseExtraSyscallCycles)-engine.NEONRowOverheadCycles,
 			engine.NEONInvPairCycles,
-			plInvPairNominalCycles*ratio),
+			engine.PLInvPairNominalCycles*ratio),
 	}
 }
 

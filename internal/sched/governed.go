@@ -1,6 +1,9 @@
 package sched
 
-import "zynqfusion/internal/sim"
+import (
+	"zynqfusion/internal/sim"
+	"zynqfusion/internal/split"
+)
 
 // Gate arbitrates access to the single shared FPGA wave engine. The farm
 // governor implements it: a stream holds the FPGA lease for the duration
@@ -40,6 +43,37 @@ func (g Governed) Pick(pairs int, inverse bool) string {
 		return "neon"
 	}
 	return e
+}
+
+// Partition implements Partitioner: when the inner policy is
+// partition-aware and the gate denies the FPGA, any cooperative split
+// collapses to the all-CPU partition — the losing stream of the
+// frame-level arbitration keeps fusing on NEON with zero wave-engine
+// share, so the farm governor's fractional busy-time metering only ever
+// sees lease holders. Classic inner policies report no partition and keep
+// the Pick-based downgrade path.
+func (g Governed) Partition(pairs int, inverse bool) (split.Partition, bool) {
+	pp, ok := g.Inner.(Partitioner)
+	if !ok {
+		return split.Partition{}, false
+	}
+	p, use := pp.Partition(pairs, inverse)
+	if !use {
+		return split.Partition{}, false
+	}
+	if p.FPGA > 0 && !g.Gate.FPGAGranted() {
+		return split.Partition{}, true
+	}
+	return p, true
+}
+
+// ObservePass implements split.Feedback by forwarding pass measurements
+// to a partition-aware inner policy. Gated (all-CPU) passes are degenerate
+// and carry no lane balance, so learners ignore them by construction.
+func (g Governed) ObservePass(pairs int, inverse bool, obs split.PassObservation) {
+	if fb, ok := g.Inner.(split.Feedback); ok {
+		fb.ObservePass(pairs, inverse, obs)
+	}
 }
 
 // Observe implements Feedback by forwarding to the inner policy when it

@@ -17,6 +17,7 @@ import (
 
 	"zynqfusion/internal/power"
 	"zynqfusion/internal/sim"
+	"zynqfusion/internal/split"
 )
 
 // Policy decides which engine runs a kernel call.
@@ -32,6 +33,70 @@ type Policy interface {
 type Feedback interface {
 	// Observe reports the simulated cost of one routed row.
 	Observe(pairs int, inverse bool, engine string, cost sim.Time)
+}
+
+// Partitioner is the partition-aware policy surface: instead of routing a
+// whole row class to exactly one engine, the policy may split it across
+// the NEON and FPGA lanes, which the adaptive engine then drives
+// concurrently. Partition returns ok=false when the policy has no split
+// opinion for the class, in which case the caller falls back to Pick
+// routing (the classic either/or path, preserved bit-for-bit).
+type Partitioner interface {
+	Policy
+	Partition(pairs int, inverse bool) (p split.Partition, ok bool)
+}
+
+// PartitionOf is the shim between the classic and partition-aware policy
+// surfaces: partition-aware policies report their split, and the existing
+// Static/Threshold/Online policies degenerate to the 0%/100% splits their
+// Pick implies — an FPGA pick is the all-FPGA partition, anything else the
+// all-CPU one. It is the external two-lane projection of a policy; the
+// adaptive engine itself routes classic policies through Pick directly,
+// because Pick can also name the scalar ARM engine, which a two-lane
+// partition cannot express.
+func PartitionOf(p Policy, pairs int, inverse bool) split.Partition {
+	if pp, ok := p.(Partitioner); ok {
+		if part, use := pp.Partition(pairs, inverse); use {
+			return part.Clamp()
+		}
+	}
+	if p.Pick(pairs, inverse) == "fpga" {
+		return split.Partition{FPGA: 1}
+	}
+	return split.Partition{}
+}
+
+// SplitDriven adapts a split.Policy into a scheduling policy: the
+// partition comes from the split policy, and the classic Pick surface
+// reports the partition's majority lane (for callers that only understand
+// exclusive routing). Pass observations forward to the split policy when
+// it learns (split.Feedback).
+type SplitDriven struct {
+	// S is the wrapped split policy (required).
+	S split.Policy
+}
+
+// Name implements Policy.
+func (sd SplitDriven) Name() string { return "split(" + sd.S.Name() + ")" }
+
+// Pick implements Policy with the partition's majority lane.
+func (sd SplitDriven) Pick(pairs int, inverse bool) string {
+	if sd.S.Split(pairs, inverse).Clamp().FPGA >= 0.5 {
+		return "fpga"
+	}
+	return "neon"
+}
+
+// Partition implements Partitioner.
+func (sd SplitDriven) Partition(pairs int, inverse bool) (split.Partition, bool) {
+	return sd.S.Split(pairs, inverse).Clamp(), true
+}
+
+// ObservePass implements split.Feedback by forwarding to the split policy.
+func (sd SplitDriven) ObservePass(pairs int, inverse bool, obs split.PassObservation) {
+	if fb, ok := sd.S.(split.Feedback); ok {
+		fb.ObservePass(pairs, inverse, obs)
+	}
 }
 
 // Static always picks one engine (the paper's three fixed configurations).

@@ -1,0 +1,193 @@
+package split
+
+import (
+	"testing"
+
+	"zynqfusion/internal/dvfs"
+	"zynqfusion/internal/sim"
+)
+
+func op(name string) dvfs.OperatingPoint {
+	p, ok := dvfs.Lookup(name)
+	if !ok {
+		panic("no operating point " + name)
+	}
+	return p
+}
+
+func TestPartitionClampAndDegenerate(t *testing.T) {
+	cases := []struct {
+		in         float64
+		want       float64
+		degenerate bool
+	}{
+		{-0.5, 0, true},
+		{0, 0, true},
+		{0.4, 0.4, false},
+		{1, 1, true},
+		{1.7, 1, true},
+	}
+	for _, c := range cases {
+		p := Partition{FPGA: c.in}.Clamp()
+		if p.FPGA != c.want {
+			t.Errorf("Clamp(%g) = %g, want %g", c.in, p.FPGA, c.want)
+		}
+		if p.Degenerate() != c.degenerate {
+			t.Errorf("Degenerate(%g) = %v, want %v", c.in, p.Degenerate(), c.degenerate)
+		}
+	}
+}
+
+func TestFixedSweepsEndpoints(t *testing.T) {
+	if f := (Fixed{Frac: 0}).Split(44, false); !f.Degenerate() || f.FPGA != 0 {
+		t.Errorf("Fixed 0 = %+v", f)
+	}
+	if f := (Fixed{Frac: 1}).Split(44, false); !f.Degenerate() || f.FPGA != 1 {
+		t.Errorf("Fixed 1 = %+v", f)
+	}
+	if f := (Fixed{Frac: 2}).Split(44, false); f.FPGA != 1 {
+		t.Errorf("Fixed clamps: %+v", f)
+	}
+}
+
+func TestRowTimesShapes(t *testing.T) {
+	// Wide rows: NEON per-row cost dominates the FPGA's; the balanced
+	// fraction leans to the FPGA lane.
+	n, f := RowTimes(44, false, dvfs.Nominal())
+	if n <= 0 || f <= 0 {
+		t.Fatalf("RowTimes(44) = %v, %v", n, f)
+	}
+	if n <= f {
+		t.Errorf("wide rows: NEON (%v) should cost more than FPGA (%v)", n, f)
+	}
+	// Narrow rows: the driver round trip dominates and NEON is cheaper.
+	n2, f2 := RowTimes(6, false, dvfs.Nominal())
+	if n2 >= f2 {
+		t.Errorf("narrow rows: NEON (%v) should beat FPGA (%v)", n2, f2)
+	}
+	// The inverse path carries the extra driver cost.
+	_, fInv := RowTimes(44, true, dvfs.Nominal())
+	if fInv <= f {
+		t.Errorf("inverse FPGA row (%v) should cost more than forward (%v)", fInv, f)
+	}
+}
+
+func TestOracleBalancesLanes(t *testing.T) {
+	o := NewOracle(dvfs.Nominal())
+	p := o.Split(44, false)
+	if p.Degenerate() {
+		t.Fatalf("oracle split at 44 pairs should be cooperative, got %+v", p)
+	}
+	tn, tf := RowTimes(44, false, dvfs.Nominal())
+	want := float64(tn) / float64(tn+tf)
+	if diff := p.FPGA - want; diff < -1e-9 || diff > 1e-9 {
+		t.Errorf("oracle = %g, want balanced %g", p.FPGA, want)
+	}
+	// Below the pair floor the pass stays on NEON.
+	if p := o.Split(4, false); p.FPGA != 0 {
+		t.Errorf("oracle below MinPairs = %+v, want NEON-only", p)
+	}
+}
+
+func TestOracleFPGAShareGrowsAsPSClockDrops(t *testing.T) {
+	// At a low PS clock NEON rows stretch while the PL compute time is
+	// fixed, so the oracle hands the wave engine a larger share.
+	slow := NewOracle(op("222MHz")).Split(44, false).FPGA
+	fast := NewOracle(op("667MHz")).Split(44, false).FPGA
+	if slow <= fast {
+		t.Errorf("FPGA share at 222MHz (%g) should exceed 667MHz (%g)", slow, fast)
+	}
+}
+
+func TestEnergySplitTracksOperatingPoint(t *testing.T) {
+	slow := NewEnergySplit(op("222MHz")).Split(44, false).FPGA
+	fast := NewEnergySplit(op("667MHz")).Split(44, false).FPGA
+	if slow <= fast {
+		t.Errorf("energy-optimal FPGA share at 222MHz (%g) should exceed 667MHz (%g)", slow, fast)
+	}
+	// The grid search is deterministic.
+	a := NewEnergySplit(dvfs.Nominal()).Split(44, false)
+	b := NewEnergySplit(dvfs.Nominal()).Split(44, false)
+	if a != b {
+		t.Errorf("energy split not deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestEnergySplitCooperativeBeatsExclusiveModel(t *testing.T) {
+	// Under the package's own energy model the chosen split must cost no
+	// more than either exclusive lane.
+	tn, tf := RowTimes(44, false, dvfs.Nominal())
+	e := NewEnergySplit(dvfs.Nominal())
+	f := e.Split(44, false).FPGA
+	cost := func(f float64) float64 {
+		pn := 0.5333
+		pf := 0.5525
+		pi := 0.41
+		cpuT := (1 - f) * float64(tn)
+		fpgaT := f * float64(tf)
+		overlap := cpuT
+		if fpgaT < overlap {
+			overlap = fpgaT
+		}
+		return pn*cpuT + pf*fpgaT - pi*overlap
+	}
+	if cost(f) > cost(0) || cost(f) > cost(1) {
+		t.Errorf("energy split %g costs %g, exclusive lanes cost %g / %g",
+			f, cost(f), cost(0), cost(1))
+	}
+}
+
+func TestAdaptiveSplitSeedsFromProbe(t *testing.T) {
+	a := NewAdaptiveSplit(dvfs.Nominal())
+	got := a.Split(44, false).FPGA
+	want := NewOracle(dvfs.Nominal()).Split(44, false).FPGA
+	if diff := got - want; diff < -1e-9 || diff > 1e-9 {
+		t.Errorf("seed = %g, want oracle %g", got, want)
+	}
+}
+
+func TestAdaptiveSplitClimbsTowardLaggingLane(t *testing.T) {
+	a := NewAdaptiveSplit(dvfs.Nominal())
+	start := a.Split(44, false).FPGA
+	// FPGA lane lagged: share must shrink.
+	a.ObservePass(44, false, PassObservation{
+		NEONRows: 10, FPGARows: 30,
+		NEONTime: 100 * sim.Microsecond, FPGATime: 400 * sim.Microsecond,
+	})
+	down := a.Split(44, false).FPGA
+	if down >= start {
+		t.Fatalf("share should drop after FPGA lag: %g -> %g", start, down)
+	}
+	// NEON lane lagged: share climbs back, with a halved step after the
+	// direction flip.
+	a.ObservePass(44, false, PassObservation{
+		NEONRows: 30, FPGARows: 10,
+		NEONTime: 400 * sim.Microsecond, FPGATime: 100 * sim.Microsecond,
+	})
+	up := a.Split(44, false).FPGA
+	if up <= down {
+		t.Fatalf("share should rise after NEON lag: %g -> %g", down, up)
+	}
+	if grew, shrank := up-down, start-down; grew >= shrank {
+		t.Errorf("step should halve on direction flip: +%g after -%g", grew, shrank)
+	}
+	// Degenerate passes carry no balance information.
+	before := a.Split(44, false).FPGA
+	a.ObservePass(44, false, PassObservation{NEONRows: 40, NEONTime: sim.Millisecond})
+	if after := a.Split(44, false).FPGA; after != before {
+		t.Errorf("degenerate pass moved the share: %g -> %g", before, after)
+	}
+}
+
+func TestAdaptiveSplitStaysClamped(t *testing.T) {
+	a := &AdaptiveSplit{Op: dvfs.Nominal(), Step: 0.5}
+	for i := 0; i < 10; i++ {
+		a.ObservePass(44, false, PassObservation{
+			NEONRows: 10, FPGARows: 30,
+			NEONTime: 1 * sim.Microsecond, FPGATime: 500 * sim.Microsecond,
+		})
+	}
+	if f := a.Split(44, false).FPGA; f < 0 || f > 1 {
+		t.Errorf("share escaped [0,1]: %g", f)
+	}
+}

@@ -1,0 +1,105 @@
+package zynqfusion
+
+import (
+	"strings"
+	"testing"
+)
+
+func splitSourcePair(t *testing.T, w, h int) (*Frame, *Frame) {
+	t.Helper()
+	vis := NewFrame(w, h)
+	ir := NewFrame(w, h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			vis.Set(x, y, float32((x*7+y*3)%251))
+			ir.Set(x, y, float32((x*x+y)%199))
+		}
+	}
+	return vis, ir
+}
+
+func TestOptionsSplitPolicyNames(t *testing.T) {
+	for _, name := range []string{SplitOracle, SplitAdaptive, SplitEnergy, "0.4", "0", "1"} {
+		if _, err := New(Options{SplitPolicy: name}); err != nil {
+			t.Errorf("SplitPolicy %q refused: %v", name, err)
+		}
+	}
+	for _, name := range []string{"optimal", "-0.1", "1.5", "40%", "NaN", "+Inf"} {
+		if _, err := New(Options{SplitPolicy: name}); err == nil {
+			t.Errorf("SplitPolicy %q accepted", name)
+		}
+	}
+	// A split needs both lanes of the adaptive engine.
+	_, err := New(Options{Engine: EngineNEON, SplitPolicy: SplitOracle})
+	if err == nil || !strings.Contains(err.Error(), "adaptive") {
+		t.Errorf("SplitPolicy on a static engine: err = %v", err)
+	}
+}
+
+// TestSplitPolicyDegenerateIsExclusive pins the API-level compatibility
+// contract: the "0" and "1" shares keep the classic exclusive accounting —
+// a single busy lane, no overlap, nothing charged for merging. (The
+// bit-for-bit comparison against the pre-refactor static routing lives in
+// internal/sched's golden tests.)
+func TestSplitPolicyDegenerateIsExclusive(t *testing.T) {
+	vis, ir := splitSourcePair(t, 64, 48)
+	for _, share := range []string{"0", "1"} {
+		fu, err := New(Options{SplitPolicy: share, IncludeIO: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, st, err := fu.Fuse(vis, ir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Overlap != 0 {
+			t.Errorf("share %s: overlap %v, want 0", share, st.Overlap)
+		}
+		if share == "0" && st.FPGABusy != 0 {
+			t.Errorf("share 0: FPGA lane busy %v", st.FPGABusy)
+		}
+		if share == "1" && st.FPGABusy == 0 {
+			t.Errorf("share 1: FPGA lane idle")
+		}
+		if got := st.CPUBusy + st.FPGABusy; got != st.Total {
+			t.Errorf("share %s: lanes %v + %v != total %v", share, st.CPUBusy, st.FPGABusy, st.Total)
+		}
+	}
+}
+
+// TestSplitPolicyCooperativeDominates is the public-API view of the
+// refactor's payoff: the oracle split fuses strictly faster than both
+// degenerate shares and with less energy than the faster one.
+func TestSplitPolicyCooperativeDominates(t *testing.T) {
+	vis, ir := splitSourcePair(t, 88, 72)
+	run := func(policy string) Stats {
+		fu, err := New(Options{SplitPolicy: policy, IncludeIO: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, st, err := fu.Fuse(vis, ir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	neon, fpga, coop := run("0"), run("1"), run(SplitOracle)
+	if coop.Total >= neon.Total || coop.Total >= fpga.Total {
+		t.Errorf("oracle %v should beat NEON-only %v and FPGA-only %v",
+			coop.Total, neon.Total, fpga.Total)
+	}
+	faster := fpga
+	if neon.Total < fpga.Total {
+		faster = neon
+	}
+	if coop.Energy >= faster.Energy {
+		t.Errorf("oracle energy %v should beat faster exclusive %v", coop.Energy, faster.Energy)
+	}
+	if coop.Overlap <= 0 || coop.CPUBusy <= 0 || coop.FPGABusy <= 0 {
+		t.Errorf("cooperative lane accounting missing: %+v", coop)
+	}
+	if got := coop.CPUBusy + coop.FPGABusy - coop.Overlap; got != coop.Total {
+		t.Errorf("lane identity broken: %v + %v - %v != %v",
+			coop.CPUBusy, coop.FPGABusy, coop.Overlap, coop.Total)
+	}
+}

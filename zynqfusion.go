@@ -2,6 +2,8 @@ package zynqfusion
 
 import (
 	"fmt"
+	"math"
+	"strconv"
 
 	"zynqfusion/internal/dvfs"
 	"zynqfusion/internal/engine"
@@ -11,6 +13,7 @@ import (
 	"zynqfusion/internal/pipeline"
 	"zynqfusion/internal/sched"
 	"zynqfusion/internal/sim"
+	"zynqfusion/internal/split"
 	"zynqfusion/internal/wavelet"
 )
 
@@ -80,6 +83,21 @@ const (
 	DVFSDeadlinePace = dvfs.PolicyDeadlinePace
 )
 
+// Split policies for Options.SplitPolicy (and, prefixed with "split-",
+// for StreamConfig.Engine): cooperative CPU+FPGA split execution
+// partitions each wavelet level across NEON and the wave engine
+// concurrently instead of routing it to exactly one engine.
+const (
+	// SplitOracle balances the two lanes at the calibrated cost-model
+	// rates per (row width, direction, operating point).
+	SplitOracle = "oracle"
+	// SplitAdaptive hill-climbs the FPGA share online from the observed
+	// per-lane pass times, seeded by the cost-model probe.
+	SplitAdaptive = "adaptive"
+	// SplitEnergy minimizes modeled joules per level rather than time.
+	SplitEnergy = "energy"
+)
+
 // Options configures a Fuser.
 type Options struct {
 	// Engine selects the execution engine (default EngineAdaptive).
@@ -98,6 +116,13 @@ type Options struct {
 	// ("222MHz" … "667MHz", case-insensitive, "MHz" optional). Empty
 	// selects the nominal 533 MHz calibration point.
 	OperatingPoint string
+	// SplitPolicy enables cooperative CPU+FPGA split execution:
+	// SplitOracle, SplitAdaptive, SplitEnergy, or a fixed FPGA share in
+	// [0, 1] written as a decimal ("0.4"). Requires the (default)
+	// adaptive engine. Empty keeps exclusive per-level routing; the
+	// degenerate shares "0" and "1" reproduce the exclusive NEON and FPGA
+	// engines bit-for-bit.
+	SplitPolicy string
 }
 
 // Fuser fuses visible/infrared frame pairs with full simulated platform
@@ -137,6 +162,16 @@ func New(opts Options) (*Fuser, error) {
 }
 
 func buildEngine(opts Options, op dvfs.OperatingPoint) (engine.Engine, error) {
+	if opts.SplitPolicy != "" {
+		if opts.Engine != EngineAdaptive {
+			return nil, fmt.Errorf("zynqfusion: Options.SplitPolicy requires the adaptive engine, not %q", opts.Engine)
+		}
+		pol, err := splitPolicyFor(opts.SplitPolicy, op)
+		if err != nil {
+			return nil, err
+		}
+		return sched.NewAdaptiveAt(sched.SplitDriven{S: pol}, op), nil
+	}
 	switch opts.Engine {
 	case EngineARM:
 		return engine.NewARMAt(op), nil
@@ -153,6 +188,25 @@ func buildEngine(opts Options, op dvfs.OperatingPoint) (engine.Engine, error) {
 	default:
 		return nil, fmt.Errorf("zynqfusion: unknown engine %q", opts.Engine)
 	}
+}
+
+// splitPolicyFor resolves an Options.SplitPolicy value at an operating
+// point: a named policy or a fixed FPGA share.
+func splitPolicyFor(name string, op dvfs.OperatingPoint) (split.Policy, error) {
+	switch name {
+	case SplitOracle:
+		return split.NewOracle(op), nil
+	case SplitAdaptive:
+		return split.NewAdaptiveSplit(op), nil
+	case SplitEnergy:
+		return split.NewEnergySplit(op), nil
+	}
+	frac, err := strconv.ParseFloat(name, 64)
+	if err != nil || math.IsNaN(frac) || frac < 0 || frac > 1 {
+		return nil, fmt.Errorf("zynqfusion: unknown split policy %q (want %q, %q, %q or a share in [0,1])",
+			name, SplitOracle, SplitAdaptive, SplitEnergy)
+	}
+	return split.Fixed{Frac: frac}, nil
 }
 
 // Engine reports the configured engine kind.

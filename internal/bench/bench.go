@@ -148,6 +148,9 @@ func All() []Experiment {
 		{ID: "split-frontier", Title: "Extension — cooperative CPU+FPGA split frontier: ratio x size x operating point",
 			Run:  RunSplitFrontier,
 			JSON: func() (any, error) { return SplitFrontier() }},
+		{ID: "pipeline-throughput", Title: "Extension — inter-frame pipelined execution: depth x size x operating point",
+			Run:  RunPipelineThroughput,
+			JSON: func() (any, error) { return PipelineThroughput() }},
 	}
 	return exps // declaration order
 }

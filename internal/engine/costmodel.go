@@ -87,6 +87,16 @@ const (
 	// used both lanes; exclusive (degenerate) routing never pays it.
 	SplitSyncCycles = 2400.0
 
+	// PipelineHandoffCycles is the per-stage-boundary cost of inter-frame
+	// pipelined execution: publishing one stage's double-buffered frame
+	// store to its successor (buffer-pointer swap, cache maintenance on the
+	// shared frame pointers, and the inter-stage doorbell write), the same
+	// handoff the paper's BT656→DMA→wave-engine chain pays between its
+	// hardware frame stores. Charged once per stage boundary per frame when
+	// stages of consecutive frames overlap (depth >= 2); the depth-1
+	// degenerate path is the classic sequential schedule and never pays it.
+	PipelineHandoffCycles = 1500.0
+
 	// Downstream pipeline stage rates (PS cycles per frame pixel),
 	// calibrated against the Fig. 2 profile: the fusion rule, capture/
 	// greyscale conversion, and the OpenCV display path.

@@ -24,20 +24,29 @@ type StageTimesJSON struct {
 	CPUBusy  sim.Time `json:"cpu_busy_ps,omitempty"`
 	FPGABusy sim.Time `json:"fpga_busy_ps,omitempty"`
 	Overlap  sim.Time `json:"overlap_ps,omitempty"`
+
+	// Latency is the summed end-to-end frame latency (equal to Total for
+	// sequential streams); PipelineOverlap is the summed span the stream's
+	// stage work ran concurrently with neighbouring frames' stages under
+	// the pipelined executor.
+	Latency         sim.Time `json:"latency_ps,omitempty"`
+	PipelineOverlap sim.Time `json:"pipeline_overlap_ps,omitempty"`
 }
 
 func stageJSON(st pipeline.StageTimes) StageTimesJSON {
 	return StageTimesJSON{
-		Capture:  st.Capture,
-		Forward:  st.Forward,
-		Fuse:     st.Fuse,
-		Inverse:  st.Inverse,
-		Display:  st.Display,
-		Total:    st.Total,
-		Energy:   st.Energy,
-		CPUBusy:  st.CPUBusy,
-		FPGABusy: st.FPGABusy,
-		Overlap:  st.Overlap,
+		Capture:         st.Capture,
+		Forward:         st.Forward,
+		Fuse:            st.Fuse,
+		Inverse:         st.Inverse,
+		Display:         st.Display,
+		Total:           st.Total,
+		Energy:          st.Energy,
+		CPUBusy:         st.CPUBusy,
+		FPGABusy:        st.FPGABusy,
+		Overlap:         st.Overlap,
+		Latency:         st.Latency,
+		PipelineOverlap: st.PipelineOverlap,
 	}
 }
 
@@ -116,10 +125,28 @@ type StreamTelemetry struct {
 	// execution.
 	SplitRatio float64 `json:"split_ratio"`
 
-	// FPGAGrants and FPGADenials count this stream's frame-level lease
-	// outcomes.
+	// FPGAGrants and FPGADenials count this stream's lease outcomes —
+	// per frame for sequential schedules, per wavelet stage (3x per
+	// frame) for overlapped pipelined streams, whose arbitration really
+	// is per stage.
 	FPGAGrants  int64 `json:"fpga_grants"`
 	FPGADenials int64 `json:"fpga_denials"`
+
+	// Pipelined marks streams configured for the inter-frame pipelined
+	// executor; PipelineDepth is the in-flight frame budget. Depth 1 is
+	// the documented degenerate case: it runs the sequential schedule
+	// bit-for-bit, keeps the per-frame lease, and records no stage
+	// occupancy. PipelineInFlight is the time-averaged number of frames
+	// in flight (Little's law: summed latency over summed periods; 1 for
+	// sequential schedules), PipelineFill the first frame's completion
+	// latency before overlap began, and StageOccupancy each station's
+	// busy share of the stream's pipeline timeline — the bottleneck
+	// station's share approaches 1 as the pipeline saturates.
+	Pipelined        bool               `json:"pipelined,omitempty"`
+	PipelineDepth    int                `json:"pipeline_depth,omitempty"`
+	PipelineInFlight float64            `json:"pipeline_in_flight,omitempty"`
+	PipelineFill     sim.Time           `json:"pipeline_fill_ps,omitempty"`
+	StageOccupancy   map[string]float64 `json:"stage_occupancy,omitempty"`
 
 	// Err records a terminal stream error, if any.
 	Err string `json:"error,omitempty"`

@@ -1,0 +1,155 @@
+package farm
+
+import (
+	"testing"
+
+	"zynqfusion/internal/dvfs"
+	"zynqfusion/internal/sim"
+)
+
+// TestFarmPipelinedFillNotADeadlineMiss: a throughput deadline sits
+// between the steady pipeline period and the fill latency, so every
+// steady frame meets it while the first frame — whose period carries the
+// one-time pipeline fill — overruns. That warm-up transient must not be
+// counted as a deadline miss (nor trigger pace escalation): a stream the
+// steady pipeline serves comfortably reports zero misses.
+func TestFarmPipelinedFillNotADeadlineMiss(t *testing.T) {
+	cfg := StreamConfig{
+		ID: "fill", Engine: "split-oracle", Seed: 3,
+		W: 64, H: 48, Frames: 10, QueueCap: 16,
+		Pipelined: true, Depth: 4,
+	}
+	steady, err := ProbePipelinePeriod(cfg, dvfs.Nominal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.DeadlineMS = 1.5 * steady.Milliseconds()
+
+	f := New(Config{})
+	defer f.Close()
+	s, err := f.Submit(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-s.Done()
+	tel := s.Telemetry()
+	if tel.Err != "" {
+		t.Fatalf("stream error: %s", tel.Err)
+	}
+	if tel.Fused != 10 {
+		t.Fatalf("fused %d of 10", tel.Fused)
+	}
+	// The scenario only bites if the fill really overran the deadline.
+	deadline := sim.Time(cfg.DeadlineMS * float64(sim.Millisecond))
+	if tel.PipelineFill <= deadline {
+		t.Fatalf("test setup: fill %v did not exceed deadline %v", tel.PipelineFill, deadline)
+	}
+	if tel.DeadlineMisses != 0 {
+		t.Fatalf("fill transient counted as %d deadline misses", tel.DeadlineMisses)
+	}
+	if tel.SlackTime <= 0 {
+		t.Fatal("steady frames met the deadline but recorded no slack")
+	}
+}
+
+// TestProbePipelinePeriodMatchesMeasured pins the analytic peak-phase
+// prediction against a measured steady state: the one-frame probe must
+// bound every steady frame period from above (a per-frame deadline has
+// to clear the oscillation's peak, and the probe frame carries the
+// one-time costs) without overshooting the worst measured period by more
+// than a few percent.
+func TestProbePipelinePeriodMatchesMeasured(t *testing.T) {
+	for _, depth := range []int{2, 4} {
+		cfg := StreamConfig{Engine: "split-oracle", Seed: 3, W: 64, H: 48, Pipelined: true, Depth: depth}
+		probe, err := ProbePipelinePeriod(cfg, dvfs.Nominal())
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Measure the same uncontended configuration the slow way.
+		s, err := newStream(cfg.withDefaults(), NewGovernor(0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		vis, ir, err := s.source.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		of := s.fuserAt(dvfs.Nominal())
+		s.gate.set(true) // uncontended: the probe assumes an open gate
+		var worst sim.Time
+		for i := 0; i < depth+6; i++ {
+			_, st, err := of.pipe.FuseFrames(vis, ir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if i >= depth && st.Total > worst {
+				worst = st.Total
+			}
+		}
+		if worst > probe {
+			t.Fatalf("depth %d: worst steady period %v exceeds the probe's safe-side prediction %v", depth, worst, probe)
+		}
+		if probe > worst+worst/20 {
+			t.Fatalf("depth %d: probe %v overshoots the worst measured period %v by more than 5%%", depth, probe, worst)
+		}
+	}
+}
+
+// TestFarmPipelinedDeadlinePaceUsesPeriodPredictor: the deadline-pace
+// governor of a pipelined stream must be calibrated on the steady
+// pipeline *period*, not the sequential frame time. With a deadline the
+// 333 MHz pipelined period meets (but sequential frame times at any
+// point would not), pacing must settle at or below 333 MHz and never
+// touch the faster points — a sequential-calibrated predictor would
+// instead degenerate to racing at 667 MHz.
+func TestFarmPipelinedDeadlinePaceUsesPeriodPredictor(t *testing.T) {
+	cfg := StreamConfig{
+		ID: "pace", Engine: "split-oracle", Seed: 5,
+		W: 64, H: 48, Frames: 8, QueueCap: 16,
+		Pipelined: true, Depth: 4,
+		DVFSPolicy: dvfs.PolicyDeadlinePace,
+	}
+	op333, ok := dvfs.Lookup("333MHz")
+	if !ok {
+		t.Fatal("no 333MHz point")
+	}
+	steady333, err := ProbePipelinePeriod(cfg, op333)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq333, err := ProbeFrameTime(cfg, op333)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.DeadlineMS = 1.05 * steady333.Milliseconds()
+	if deadline := sim.Time(cfg.DeadlineMS * float64(sim.Millisecond)); seq333 <= deadline {
+		t.Fatalf("test setup: sequential 333MHz frame time %v already meets the deadline %v", seq333, deadline)
+	}
+
+	f := New(Config{})
+	defer f.Close()
+	s, err := f.Submit(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-s.Done()
+	tel := s.Telemetry()
+	if tel.Err != "" {
+		t.Fatalf("stream error: %s", tel.Err)
+	}
+	if tel.DeadlineMisses != 0 {
+		t.Fatalf("paced pipelined stream missed %d deadlines", tel.DeadlineMisses)
+	}
+	if tel.DVFSBoost != 0 {
+		t.Fatalf("paced pipelined stream escalated %d points", tel.DVFSBoost)
+	}
+	for _, fast := range []string{"444MHz", "533MHz", "667MHz"} {
+		if n := tel.OpFrames[fast]; n > 0 {
+			t.Fatalf("pacing ran %d frames at %s; period-calibrated pacing should stay at or below 333MHz (residency %v)",
+				n, fast, tel.OpFrames)
+		}
+	}
+	if len(tel.OpFrames) == 0 {
+		t.Fatal("no operating-point residency recorded")
+	}
+}

@@ -1,0 +1,119 @@
+package farm
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestFarmPipelinedRaceSoak runs seven concurrent pipelined streams —
+// depths 2..4, engines spanning the cooperative splits, static FPGA and
+// the adaptive threshold — against the shared-FPGA lease and an aggregate
+// energy budget, stopping some streams mid-flight. Run under -race by CI.
+// The invariant: no in-flight frame is ever lost — every captured frame
+// is either fused or accounted as dropped, on the drained and the stopped
+// streams alike — and the governor's exclusive-lease spans never overlap.
+func TestFarmPipelinedRaceSoak(t *testing.T) {
+	f := New(Config{PowerBudget: 3.0})
+	defer f.Close()
+
+	engines := []string{"split-oracle", "split-adaptive", "split-energy", "fpga", "adaptive", "split-oracle", "neon"}
+	var streams []*Stream
+	for i, eng := range engines {
+		s, err := f.Submit(StreamConfig{
+			ID:     fmt.Sprintf("pipe%d", i),
+			Engine: eng,
+			Seed:   int64(i + 1),
+			W:      40, H: 40,
+			Frames:    40,
+			Pipelined: true,
+			Depth:     2 + i%3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		streams = append(streams, s)
+	}
+	// Stop a third of the fleet mid-flight: stop/drain must not lose the
+	// frames already popped from the queue.
+	for i, s := range streams {
+		if i%3 == 0 {
+			s.Stop()
+		}
+	}
+	f.Wait()
+
+	for i, s := range streams {
+		tel := s.Telemetry()
+		stopped := i%3 == 0
+		if tel.Err != "" {
+			t.Fatalf("%s: stream error: %s", tel.ID, tel.Err)
+		}
+		// A stream stopped right after Submit may never capture; drained
+		// streams must run their whole frame budget.
+		if !stopped && tel.Captured != 40 {
+			t.Fatalf("%s: captured %d of 40", tel.ID, tel.Captured)
+		}
+		if tel.Fused+tel.Dropped != tel.Captured {
+			t.Fatalf("%s: lost frames: captured %d != fused %d + dropped %d",
+				tel.ID, tel.Captured, tel.Fused, tel.Dropped)
+		}
+		if !tel.Pipelined || tel.PipelineDepth < 2 {
+			t.Fatalf("%s: telemetry not pipelined: %+v", tel.ID, tel)
+		}
+		if tel.Fused > 0 && tel.Engine != "neon" && tel.Engine != "arm" {
+			if tel.FPGAGrants+tel.FPGADenials == 0 {
+				t.Errorf("%s: no per-stage lease outcomes recorded", tel.ID)
+			}
+		}
+		if tel.Fused > 0 && tel.PipelineInFlight <= 0 {
+			t.Errorf("%s: in-flight telemetry missing", tel.ID)
+		}
+	}
+
+	// The lease is exclusive: granted wave-engine spans must tile without
+	// overlap on the governor's global FPGA timeline.
+	spans := f.Governor().Spans()
+	for i := 1; i < len(spans); i++ {
+		if spans[i].Start < spans[i-1].End {
+			t.Fatalf("FPGA spans overlap: %+v then %+v", spans[i-1], spans[i])
+		}
+	}
+	if gs := f.Governor().Stats(); gs.Holder != "" {
+		t.Fatalf("lease leaked to %q after drain", gs.Holder)
+	}
+}
+
+// TestFarmPipelinedStreamValidation pins the Submit-time refusals of the
+// pipelined stream knobs with their actionable messages.
+func TestFarmPipelinedStreamValidation(t *testing.T) {
+	f := New(Config{})
+	defer f.Close()
+	cases := []struct {
+		name string
+		cfg  StreamConfig
+		want string
+	}{
+		{"negative depth", StreamConfig{Pipelined: true, Depth: -2, Frames: 1}, "pipeline_depth must be non-negative"},
+		{"absurd depth", StreamConfig{Pipelined: true, Depth: 1 << 16, Frames: 1}, "exceeds the maximum"},
+		{"depth without pipelined", StreamConfig{Depth: 2, Frames: 1}, "requires pipelined"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := f.Submit(tc.cfg); err == nil {
+				t.Fatalf("Submit accepted %+v", tc.cfg)
+			} else if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+	// Depth 0 with Pipelined defaults to 2.
+	s, err := f.Submit(StreamConfig{Pipelined: true, Frames: 2, W: 32, H: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-s.Done()
+	if tel := s.Telemetry(); tel.PipelineDepth != 2 {
+		t.Fatalf("default pipelined depth = %d, want 2", tel.PipelineDepth)
+	}
+}

@@ -60,6 +60,19 @@ type StreamConfig struct {
 	// "deadline-pace" picks the lowest point whose predicted frame time
 	// meets DeadlineMS (which must then be set).
 	DVFSPolicy string `json:"dvfs_policy"`
+	// Pipelined runs the stream through the inter-frame pipelined
+	// executor: the capture/forward/fuse/inverse/display stages of up to
+	// Depth consecutive frames overlap, the FPGA lease is acquired per
+	// wavelet stage instead of per frame, and each frame's reported Total
+	// becomes its pipeline period (which is also what DeadlineMS is
+	// checked against — a throughput deadline). Fused pixels are identical
+	// either way.
+	Pipelined bool `json:"pipelined"`
+	// Depth is the pipelined in-flight frame budget: 0 selects the
+	// default (2) when Pipelined is set, 1 degenerates to the sequential
+	// schedule bit-for-bit, and values above pipeline.MaxDepth — or any
+	// Depth without Pipelined — are rejected at Submit.
+	Depth int `json:"pipeline_depth"`
 }
 
 func (c StreamConfig) withDefaults() StreamConfig {
@@ -74,6 +87,9 @@ func (c StreamConfig) withDefaults() StreamConfig {
 	}
 	if c.Frames == 0 && c.IntervalMS <= 0 {
 		c.IntervalMS = 100
+	}
+	if c.Pipelined && c.Depth == 0 {
+		c.Depth = 2
 	}
 	return c
 }
@@ -122,6 +138,7 @@ type opFuser struct {
 	op       dvfs.OperatingPoint
 	adaptive *sched.Adaptive
 	fuser    *pipeline.Fuser
+	pipe     *pipeline.PipelinedFuser // non-nil when the stream overlaps frames (depth >= 2)
 	lastRows map[string]int64
 	lastTime map[string]sim.Time
 }
@@ -155,6 +172,12 @@ type Stream struct {
 
 	wantsFPGA bool
 
+	// Per-stage lease state, confined to the consumer goroutine: the
+	// pipelined executor's hooks acquire the wave engine around each
+	// wavelet stage and release it across the CPU-only ones.
+	stageHeld bool
+	stageFPGA sim.Time // holder's routed FPGA time at acquisition
+
 	stopOnce sync.Once
 	stopCh   chan struct{}
 	done     chan struct{}
@@ -172,7 +195,9 @@ type Stream struct {
 	routedTime      map[string]int64 // sim.Time as int64 for copy ease
 	residency       dvfs.Residency
 	lastPoint       string
-	lastSplit       float64 // FPGA row share of the most recent frame
+	lastSplit       float64          // FPGA row share of the most recent frame
+	pipeBusy        map[string]int64 // per-stage busy (sim.Time as int64), pipelined streams
+	pipeFill        sim.Time         // first frame's completion: the pipeline-fill latency
 	deadlineMisses  int64
 	slackTime       sim.Time
 	slackEnergy     sim.Joules
@@ -194,6 +219,15 @@ func newStream(cfg StreamConfig, gov *Governor) (*Stream, error) {
 	}
 	if cfg.IntervalMS < 0 {
 		return nil, fmt.Errorf("farm: interval_ms must be non-negative, got %d (zero free-runs bounded streams)", cfg.IntervalMS)
+	}
+	if cfg.Depth < 0 {
+		return nil, fmt.Errorf("farm: pipeline_depth must be non-negative, got %d (zero selects the default when pipelined)", cfg.Depth)
+	}
+	if cfg.Depth > pipeline.MaxDepth {
+		return nil, fmt.Errorf("farm: pipeline_depth %d exceeds the maximum %d", cfg.Depth, pipeline.MaxDepth)
+	}
+	if cfg.Depth > 0 && !cfg.Pipelined {
+		return nil, fmt.Errorf("farm: pipeline_depth %d requires pipelined: true", cfg.Depth)
 	}
 	cfg = cfg.withDefaults()
 	if cfg.W <= 0 || cfg.H <= 0 {
@@ -309,12 +343,79 @@ func ProbeFrameTime(cfg StreamConfig, op dvfs.OperatingPoint) (sim.Time, error) 
 	return st.Total, nil
 }
 
+// ProbePipelinePeriod predicts the worst steady-state frame period of an
+// uncontended pipelined stream at an operating point — the figure a
+// pipelined stream's deadline is checked against, so it is what the
+// deadline-pace predictor must be calibrated with (the sequential
+// ProbeFrameTime would overstate a pipelined stream's period by the
+// whole overlap and pacing would degenerate to racing). One probe frame
+// measures the station durations d_i; with bottleneck b = max_i d_i and
+// latency L = sum_i d_i, a bottleneck-limited pipeline (L <= depth*b)
+// ticks steadily at b, while an admission-limited one oscillates between
+// L-(depth-1)*b and b (a frame admitted on its depth-predecessor's
+// completion sprints through partly drained stations, the next one
+// queues), so the peak phase
+//
+//	period = max( b,  L - (depth-1)*b )
+//
+// is what a per-frame deadline must clear. No fill frames need to be
+// fused, and the probe frame carries the one-time costs later frames
+// amortize, keeping the prediction on the safe side of a deadline.
+func ProbePipelinePeriod(cfg StreamConfig, op dvfs.OperatingPoint) (sim.Time, error) {
+	cfg = cfg.withDefaults()
+	inner, err := innerPolicyAt(cfg.Engine, op)
+	if err != nil {
+		return 0, err
+	}
+	rule, err := fusionRule(cfg.Rule)
+	if err != nil {
+		return 0, err
+	}
+	src, err := NewSyntheticSource(cfg.W, cfg.H, cfg.Seed)
+	if err != nil {
+		return 0, err
+	}
+	vis, ir, err := src.Next()
+	if err != nil {
+		return 0, fmt.Errorf("farm: probe capture: %w", err)
+	}
+	ad := sched.NewAdaptiveAt(sched.Governed{Inner: inner, Gate: openGate{}}, op)
+	pp, err := pipeline.NewPipelined(pipeline.New(ad, pipeline.Config{Levels: cfg.Levels, Rule: rule, IncludeIO: true}), cfg.Depth)
+	if err != nil {
+		return 0, fmt.Errorf("farm: probe at %s: %w", op.Name, err)
+	}
+	if _, _, err := pp.FuseFrames(vis, ir); err != nil {
+		return 0, fmt.Errorf("farm: probe at %s: %w", op.Name, err)
+	}
+	var bottleneck, latency sim.Time
+	for _, st := range pp.Stats().Stages {
+		if st.Busy > bottleneck {
+			bottleneck = st.Busy
+		}
+		latency += st.Busy
+	}
+	period := bottleneck
+	if peak := latency - sim.Time(cfg.Depth-1)*bottleneck; peak > period {
+		period = peak
+	}
+	// Split policies interleave with an error-diffusion carry, so a
+	// station's duration wobbles by a row or two frame to frame; a ~1%
+	// headroom keeps the prediction above that jitter.
+	return period + period/128, nil
+}
+
 // calibratePredictor probes every operating point and returns a
-// table-lookup predictor.
+// table-lookup predictor. Pipelined (overlapped) streams are probed
+// through the pipelined executor, so the prediction is the steady frame
+// period their deadline is actually checked against.
 func calibratePredictor(cfg StreamConfig) (dvfs.Predictor, error) {
+	probe := ProbeFrameTime
+	if cfg.Pipelined && cfg.Depth >= 2 {
+		probe = ProbePipelinePeriod
+	}
 	pred := make(map[string]sim.Time)
 	for _, op := range dvfs.List() {
-		t, err := ProbeFrameTime(cfg, op)
+		t, err := probe(cfg, op)
 		if err != nil {
 			return nil, err
 		}
@@ -342,8 +443,64 @@ func (s *Stream) fuserAt(op dvfs.OperatingPoint) *opFuser {
 		lastRows: make(map[string]int64),
 		lastTime: make(map[string]sim.Time),
 	}
+	if s.cfg.Pipelined && s.cfg.Depth >= 2 {
+		pp, err := pipeline.NewPipelined(of.fuser, s.cfg.Depth)
+		if err != nil {
+			// Depth was validated at Submit; this cannot happen.
+			panic("farm: " + err.Error())
+		}
+		pp.SetHooks(pipeline.Hooks{
+			StageStart: func(stg pipeline.Stage, seq int64) { s.stageStart(of, stg) },
+			StageEnd:   func(stg pipeline.Stage, seq int64, d sim.Time) { s.stageEnd(of, stg, d) },
+		})
+		of.pipe = pp
+	}
 	s.ops[op.Name] = of
 	return of
+}
+
+// stageStart brackets one pipelined station: wavelet stages contend for
+// the frame-store-granular FPGA lease, CPU-only stages run lease-free so
+// other streams' wavelet stages can interleave on the wave engine. Runs
+// on the consumer goroutine.
+func (s *Stream) stageStart(of *opFuser, stg pipeline.Stage) {
+	if !s.wantsFPGA || !stg.Wavelet {
+		return
+	}
+	granted := s.gov.TryAcquire(s.cfg.ID)
+	s.stageHeld = granted
+	s.gate.set(granted)
+	s.stageFPGA = of.adaptive.RoutedTime["fpga"]
+	s.mu.Lock()
+	// Pipelined streams count lease outcomes per wavelet stage (the
+	// arbitration really is per stage), so grants+denials advance three
+	// times per frame instead of once.
+	if granted {
+		s.grants++
+	} else {
+		s.denials++
+	}
+	s.mu.Unlock()
+}
+
+// stageEnd closes the bracket: record the station span for occupancy
+// telemetry and return the lease with the wave-engine busy time this
+// stage actually consumed.
+func (s *Stream) stageEnd(of *opFuser, stg pipeline.Stage, d sim.Time) {
+	s.mu.Lock()
+	if s.pipeBusy == nil {
+		s.pipeBusy = make(map[string]int64)
+	}
+	s.pipeBusy[stg.Name] += int64(d)
+	s.mu.Unlock()
+	if !s.wantsFPGA || !stg.Wavelet {
+		return
+	}
+	s.gate.set(false)
+	if s.stageHeld {
+		s.stageHeld = false
+		s.gov.Release(s.cfg.ID, of.adaptive.RoutedTime["fpga"]-s.stageFPGA)
+	}
 }
 
 // start launches the producer and consumer goroutines.
@@ -409,17 +566,33 @@ func (s *Stream) fuseOne(p framePair) {
 		op = dvfs.Faster(op, boost)
 	}
 	of := s.fuserAt(op)
+	var fused *frame.Frame
+	var st pipeline.StageTimes
+	var err error
 	granted := false
-	if s.wantsFPGA {
-		granted = s.gov.TryAcquire(s.cfg.ID)
-		s.gate.set(granted)
-	}
-	fpgaBefore := of.adaptive.RoutedTime["fpga"]
-	fused, st, err := of.fuser.FuseFrames(p.vis, p.ir)
-	if s.wantsFPGA {
-		s.gate.set(false)
-		if granted {
-			s.gov.Release(s.cfg.ID, of.adaptive.RoutedTime["fpga"]-fpgaBefore)
+	warm := false
+	pipelined := of.pipe != nil
+	if pipelined {
+		// Frames below Depth on *this executor's* timeline carry the
+		// pipeline fill — at stream start, and again whenever a DVFS
+		// boost or governor pick lands on an operating point whose
+		// pipeline is still cold.
+		warm = of.pipe.Frames() < int64(s.cfg.Depth)
+		// The per-stage hooks acquire and release the FPGA lease around
+		// each wavelet station and count the grant outcomes.
+		fused, st, err = of.pipe.FuseFrames(p.vis, p.ir)
+	} else {
+		if s.wantsFPGA {
+			granted = s.gov.TryAcquire(s.cfg.ID)
+			s.gate.set(granted)
+		}
+		fpgaBefore := of.adaptive.RoutedTime["fpga"]
+		fused, st, err = of.fuser.FuseFrames(p.vis, p.ir)
+		if s.wantsFPGA {
+			s.gate.set(false)
+			if granted {
+				s.gov.Release(s.cfg.ID, of.adaptive.RoutedTime["fpga"]-fpgaBefore)
+			}
 		}
 	}
 	if err != nil {
@@ -443,6 +616,15 @@ func (s *Stream) fuseOne(p framePair) {
 		}
 	}
 	s.mu.Lock()
+	// A fill frame's period includes the one-time ramp to steady state,
+	// so an overrun there is a warm-up transient, not a deadline miss —
+	// counting it (or letting it trigger the never-decaying escalation
+	// below) would permanently penalize every deadline below the fill
+	// latency that the steady pipeline meets easily, and would cascade
+	// across operating points since each starts a cold pipeline.
+	if missed && warm {
+		missed = false
+	}
 	// Sticky escalation: a missed deadline raises the remaining frames'
 	// operating point while headroom exists. It never decays — under the
 	// persistent contention that causes misses, oscillating back down
@@ -452,10 +634,15 @@ func (s *Stream) fuseOne(p framePair) {
 	}
 	s.fused++
 	s.stages.Add(st)
-	if granted {
-		s.grants++
-	} else if s.wantsFPGA {
-		s.denials++
+	if s.cfg.Pipelined && s.fused == 1 {
+		s.pipeFill = st.Total // first frame's completion: fill latency
+	}
+	if !pipelined {
+		if granted {
+			s.grants++
+		} else if s.wantsFPGA {
+			s.denials++
+		}
 	}
 	if s.routedRows == nil {
 		s.routedRows = make(map[string]int64)
@@ -563,6 +750,21 @@ func (s *Stream) Telemetry() StreamTelemetry {
 		FPGAGrants:     s.grants,
 		FPGADenials:    s.denials,
 		SplitRatio:     s.lastSplit,
+	}
+	if s.cfg.Pipelined {
+		t.Pipelined = true
+		t.PipelineDepth = s.cfg.Depth
+		t.PipelineFill = s.pipeFill
+		if s.stages.Total > 0 {
+			// Little's law over the summed periods: mean frames in flight.
+			t.PipelineInFlight = float64(s.stages.Latency) / float64(s.stages.Total)
+			if len(s.pipeBusy) > 0 {
+				t.StageOccupancy = make(map[string]float64, len(s.pipeBusy))
+				for k, v := range s.pipeBusy {
+					t.StageOccupancy[k] = float64(v) / float64(s.stages.Total)
+				}
+			}
+		}
 	}
 	if s.err != nil {
 		t.Err = s.err.Error()

@@ -69,6 +69,18 @@ type StageTimes struct {
 	CPUBusy  sim.Time
 	FPGABusy sim.Time
 	Overlap  sim.Time
+
+	// Latency is the frame's end-to-end span through the stage graph, from
+	// the moment its first stage engaged to the completion of its last.
+	// For the sequential executor it equals Total; under the inter-frame
+	// pipelined executor it exceeds Total, because Total then reports the
+	// frame *period* — the net advance of the pipeline's completion clock,
+	// which in steady state approaches the slowest stage instead of the
+	// stage sum. PipelineOverlap is the span of this frame's stage work
+	// that ran concurrently with neighbouring frames' stages (already
+	// netted out of Total); it is zero for sequential execution.
+	Latency         sim.Time
+	PipelineOverlap sim.Time
 }
 
 // Add accumulates other into s.
@@ -83,6 +95,8 @@ func (s *StageTimes) Add(other StageTimes) {
 	s.CPUBusy += other.CPUBusy
 	s.FPGABusy += other.FPGABusy
 	s.Overlap += other.Overlap
+	s.Latency += other.Latency
+	s.PipelineOverlap += other.PipelineOverlap
 }
 
 // energyDrainer is implemented by engines whose power level varies over
@@ -125,19 +139,34 @@ func (f *Fuser) Config() Config { return f.cfg }
 // drain returns the engine time consumed since the last drain.
 func (f *Fuser) drain() sim.Time { return f.eng.Reset() }
 
-// FuseFrames fuses one visible/infrared frame pair.
-func (f *Fuser) FuseFrames(vis, ir *frame.Frame) (*frame.Frame, StageTimes, error) {
+// validatePair is the shared admission check of both executors: non-nil
+// same-size sources and a decomposition depth the geometry supports.
+func validatePair(vis, ir *frame.Frame, levels int) error {
 	if vis == nil || ir == nil {
-		return nil, StageTimes{}, errors.New("pipeline: nil input frame")
+		return errors.New("pipeline: nil input frame")
 	}
 	if !vis.SameSize(ir) {
-		return nil, StageTimes{}, fmt.Errorf("pipeline: source sizes differ: %dx%d vs %dx%d",
+		return fmt.Errorf("pipeline: source sizes differ: %dx%d vs %dx%d",
 			vis.W, vis.H, ir.W, ir.H)
 	}
-	levels := f.cfg.Levels
 	if maxLv := wavelet.MaxLevels(vis.W, vis.H); levels > maxLv {
-		return nil, StageTimes{}, fmt.Errorf("pipeline: %d levels exceed max %d for %dx%d",
+		return fmt.Errorf("pipeline: %d levels exceed max %d for %dx%d",
 			levels, maxLv, vis.W, vis.H)
+	}
+	return nil
+}
+
+// FuseFrames fuses one visible/infrared frame pair.
+//
+// The stage bodies below are mirrored by the pipelined executor's
+// stageGraph (pipelined.go), which drains the engine per station instead
+// of per Fig. 2 stage; any charge added or retuned here must be applied
+// there too, or the depth >= 2 cost parity breaks while the depth-1
+// golden tests stay green.
+func (f *Fuser) FuseFrames(vis, ir *frame.Frame) (*frame.Frame, StageTimes, error) {
+	levels := f.cfg.Levels
+	if err := validatePair(vis, ir, levels); err != nil {
+		return nil, StageTimes{}, err
 	}
 	var st StageTimes
 	px := float64(vis.W * vis.H)
@@ -180,6 +209,7 @@ func (f *Fuser) FuseFrames(vis, ir *frame.Frame) (*frame.Frame, StageTimes, erro
 	}
 
 	st.Total = st.Capture + st.Forward + st.Fuse + st.Inverse + st.Display
+	st.Latency = st.Total // sequential: the frame occupies the whole period
 	st.Energy = f.energyFor(st.Total)
 	if ld, ok := f.eng.(laneDrainer); ok {
 		st.CPUBusy, st.FPGABusy, st.Overlap = ld.DrainLanes()

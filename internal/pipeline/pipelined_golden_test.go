@@ -1,0 +1,76 @@
+package pipeline
+
+import (
+	"testing"
+
+	"zynqfusion/internal/camera"
+	"zynqfusion/internal/dvfs"
+	"zynqfusion/internal/engine"
+	"zynqfusion/internal/sched"
+	"zynqfusion/internal/split"
+)
+
+// goldenEngines builds the three schedule families the paper compares:
+// exclusive NEON, exclusive FPGA, and the cooperative CPU+FPGA split.
+// Each call returns a fresh engine so paired runs start from identical
+// state.
+func goldenEngines() map[string]func() engine.Engine {
+	op := dvfs.Nominal()
+	return map[string]func() engine.Engine{
+		"neon": func() engine.Engine { return engine.NewNEONAt(false, op) },
+		"fpga": func() engine.Engine { return engine.NewFPGAAt(op) },
+		"split": func() engine.Engine {
+			return sched.NewAdaptiveAt(sched.SplitDriven{S: split.NewOracle(op)}, op)
+		},
+	}
+}
+
+// TestGoldenDepth1PipelinedMatchesSequential pins the depth-1 degenerate
+// path bit-for-bit against the sequential FuseFrames — pixels, every
+// stage's cycle-derived span, and joules — across the NEON-only,
+// FPGA-only and cooperative-split schedules, over several consecutive
+// frames (the second frame amortizes coefficient loads differently from
+// the first, so one frame alone would not pin the schedule).
+func TestGoldenDepth1PipelinedMatchesSequential(t *testing.T) {
+	sc := camera.NewScene(64, 48, 7)
+	vis, ir := sc.Visible(), sc.Thermal()
+	for name, build := range goldenEngines() {
+		t.Run(name, func(t *testing.T) {
+			cfg := Config{Levels: 3, IncludeIO: true}
+			seq := New(build(), cfg)
+			pp, err := NewPipelined(New(build(), cfg), 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for frameN := 0; frameN < 3; frameN++ {
+				wantPix, wantST, err := seq.FuseFrames(vis, ir)
+				if err != nil {
+					t.Fatal(err)
+				}
+				gotPix, gotST, err := pp.FuseFrames(vis, ir)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if gotST != wantST {
+					t.Fatalf("frame %d: stage times diverge:\npipelined  %+v\nsequential %+v", frameN, gotST, wantST)
+				}
+				if !gotPix.SameSize(wantPix) {
+					t.Fatalf("frame %d: size %dx%d != %dx%d", frameN, gotPix.W, gotPix.H, wantPix.W, wantPix.H)
+				}
+				for i := range gotPix.Pix {
+					if gotPix.Pix[i] != wantPix.Pix[i] {
+						t.Fatalf("frame %d: pixel %d differs: pipelined %v, sequential %v",
+							frameN, i, gotPix.Pix[i], wantPix.Pix[i])
+					}
+				}
+			}
+			st := pp.Stats()
+			if st.Depth != 1 || st.Frames != 3 {
+				t.Fatalf("stats = %+v, want depth 1 over 3 frames", st)
+			}
+			if st.MeanInFlight < 0.999 || st.MeanInFlight > 1.001 {
+				t.Errorf("sequential mean in-flight = %g, want 1", st.MeanInFlight)
+			}
+		})
+	}
+}

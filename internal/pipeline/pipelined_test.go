@@ -1,0 +1,201 @@
+package pipeline
+
+import (
+	"strings"
+	"testing"
+
+	"zynqfusion/internal/camera"
+	"zynqfusion/internal/dvfs"
+	"zynqfusion/internal/engine"
+	"zynqfusion/internal/sched"
+	"zynqfusion/internal/sim"
+	"zynqfusion/internal/split"
+)
+
+func TestNewPipelinedValidation(t *testing.T) {
+	fu := New(engine.NewNEON(false), Config{})
+	cases := []struct {
+		name    string
+		f       *Fuser
+		depth   int
+		wantErr string
+	}{
+		{"nil fuser", nil, 2, "requires a Fuser"},
+		{"zero depth", fu, 0, "depth must be >= 1"},
+		{"negative depth", fu, -3, "depth must be >= 1"},
+		{"absurd depth", fu, MaxDepth + 1, "exceeds MaxDepth"},
+		{"depth one ok", fu, 1, ""},
+		{"max depth ok", fu, MaxDepth, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p, err := NewPipelined(tc.f, tc.depth)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				if p.Depth() != tc.depth {
+					t.Fatalf("depth = %d, want %d", p.Depth(), tc.depth)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("no error for %s", tc.name)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestPipelinedPixelsMatchSequentialAtAnyDepth: overlapping the timeline
+// must never move a pixel — the work is executed identically, only the
+// modeled schedule changes.
+func TestPipelinedPixelsMatchSequentialAtAnyDepth(t *testing.T) {
+	sc := camera.NewScene(64, 48, 3)
+	vis, ir := sc.Visible(), sc.Thermal()
+	op := dvfs.Nominal()
+	cfg := Config{Levels: 3, IncludeIO: true}
+	seq := New(sched.NewAdaptiveAt(sched.SplitDriven{S: split.NewOracle(op)}, op), cfg)
+	want, _, err := seq.FuseFrames(vis, ir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, depth := range []int{2, 4, 8} {
+		pp, err := NewPipelined(New(sched.NewAdaptiveAt(sched.SplitDriven{S: split.NewOracle(op)}, op), cfg), depth)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := pp.FuseFrames(vis, ir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range got.Pix {
+			if got.Pix[i] != want.Pix[i] {
+				t.Fatalf("depth %d: pixel %d differs: %v vs %v", depth, i, got.Pix[i], want.Pix[i])
+			}
+		}
+	}
+}
+
+// TestPipelinedSteadyStatePeriod checks the executor against the pipeline
+// period model: once filled, the per-frame period must sit at or above
+// the bottleneck station (no station processes two frames at once) and
+// strictly below the sequential stage sum (consecutive frames genuinely
+// overlap), and the energy rebate must leave J/frame below sequential.
+func TestPipelinedSteadyStatePeriod(t *testing.T) {
+	sc := camera.NewScene(88, 72, 5)
+	vis, ir := sc.Visible(), sc.Thermal()
+	op := dvfs.Nominal()
+	cfg := Config{Levels: 3, IncludeIO: true}
+	mk := func() *Fuser {
+		return New(sched.NewAdaptiveAt(sched.SplitDriven{S: split.NewOracle(op)}, op), cfg)
+	}
+
+	// Sequential reference: steady frame cost after the first frame.
+	seq := mk()
+	if _, _, err := seq.FuseFrames(vis, ir); err != nil {
+		t.Fatal(err)
+	}
+	_, seqST, err := seq.FuseFrames(vis, ir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, depth := range []int{2, 4} {
+		pp, err := NewPipelined(mk(), depth)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const frames = 10
+		var lastST StageTimes
+		var steady sim.Time
+		var steadyE sim.Joules
+		steadyN := 0
+		for i := 0; i < frames; i++ {
+			_, st, err := pp.FuseFrames(vis, ir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if i >= depth {
+				steady += st.Total
+				steadyE += st.Energy
+				steadyN++
+			}
+			lastST = st
+		}
+		period := steady / sim.Time(steadyN)
+		if period >= seqST.Total {
+			t.Fatalf("depth %d: steady period %v not below sequential frame time %v", depth, period, seqST.Total)
+		}
+
+		stats := pp.Stats()
+		var bottleneck sim.Time
+		for _, s := range stats.Stages {
+			if per := s.Busy / sim.Time(stats.Frames); per > bottleneck {
+				bottleneck = per
+			}
+		}
+		// The cumulative mean includes the first frame's one-time coefficient
+		// loads, so allow a sliver of slack below the bottleneck mean.
+		if period < bottleneck-bottleneck/200 {
+			t.Fatalf("depth %d: period %v beat the bottleneck station %v — a station ran two frames at once", depth, period, bottleneck)
+		}
+		if lastST.Latency <= lastST.Total {
+			t.Errorf("depth %d: steady latency %v should exceed period %v", depth, lastST.Latency, lastST.Total)
+		}
+		if lastST.PipelineOverlap <= 0 {
+			t.Errorf("depth %d: steady frame reports no pipeline overlap", depth)
+		}
+		if ePerFrame := steadyE / sim.Joules(steadyN); ePerFrame >= seqST.Energy {
+			t.Errorf("depth %d: steady J/frame %v not below sequential %v (quiescent rebate missing?)", depth, ePerFrame, seqST.Energy)
+		}
+		if stats.MeanInFlight <= 1.2 {
+			t.Errorf("depth %d: mean in-flight %g, want > 1.2", depth, stats.MeanInFlight)
+		}
+		if stats.Fill <= 0 || stats.Makespan < stats.Fill {
+			t.Errorf("depth %d: fill %v / makespan %v inconsistent", depth, stats.Fill, stats.Makespan)
+		}
+	}
+}
+
+// TestPipelinedDeeperNeverSlower: the throughput frontier must be
+// monotone — more in-flight frames can only lower (or hold) the steady
+// period.
+func TestPipelinedDeeperNeverSlower(t *testing.T) {
+	sc := camera.NewScene(64, 48, 9)
+	vis, ir := sc.Visible(), sc.Thermal()
+	cfg := Config{Levels: 3, IncludeIO: true}
+	var prev sim.Time
+	for i, depth := range []int{1, 2, 4, 8} {
+		pp, err := NewPipelined(New(engine.NewNEON(false), cfg), depth)
+		if err != nil {
+			t.Fatal(err)
+		}
+		frames := depth + 4
+		var steady sim.Time
+		n := 0
+		for f := 0; f < frames; f++ {
+			_, st, err := pp.FuseFrames(vis, ir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if f >= depth {
+				steady += st.Total
+				n++
+			}
+		}
+		period := steady / sim.Time(n)
+		// Handoff charges mean depth 2 is not strictly cheaper than the
+		// sequential path on a single-engine schedule where every station
+		// shares the one CPU lane; allow the calibrated handoff margin.
+		slackCycles := float64(len(stageGraph(true))-1) * engine.PipelineHandoffCycles
+		slack := dvfs.Nominal().Clock().CyclesF(slackCycles)
+		if i > 0 && period > prev+slack {
+			t.Fatalf("depth %d steady period %v regressed past depth %d period %v (+%v handoff slack)",
+				depth, period, []int{1, 2, 4, 8}[i-1], prev, slack)
+		}
+		prev = period
+	}
+}

@@ -1,0 +1,54 @@
+package sched
+
+// StageAware is the per-stage scheduling surface of the inter-frame
+// pipelined executor. The classic contract lets a policy see only rows;
+// the pipelined executor additionally announces every stage boundary
+// (forward-vis, forward-ir, fuse, inverse, ...) before the stage's first
+// row, so policies and engines can re-evaluate state that must not leak
+// across stages:
+//
+//   - the adaptive engine closes any open cooperative-split pass — the two
+//     lanes sync at a stage boundary exactly as they do at a level
+//     boundary, so a partition never spans the handoff between stages of
+//     different frames;
+//   - the Governed lease gate is re-consulted per stage rather than per
+//     frame: a farm stream acquires the shared wave engine only around the
+//     wavelet stages and releases it across capture/fuse/display, which is
+//     what lets the stages of several streams' frames interleave on the
+//     one modeled FPGA.
+//
+// Implementations must tolerate stages they do not recognize (future
+// graphs may add stations).
+type StageAware interface {
+	// BeginStage announces that the named pipeline stage of the given
+	// in-flight frame sequence number is about to run.
+	BeginStage(stage string, frame int64)
+}
+
+// BeginStage implements StageAware for the adaptive engine: a stage
+// boundary closes any open cooperative-split pass (the lanes must sync
+// before work for a different stage — possibly a different frame — may
+// start) and forwards the announcement to a stage-aware policy.
+func (a *Adaptive) BeginStage(stage string, frame int64) {
+	a.closePass()
+	if sa, ok := a.policy.(StageAware); ok {
+		sa.BeginStage(stage, frame)
+	}
+}
+
+// BeginStage implements StageAware by forwarding to a stage-aware inner
+// policy; the gate itself is stateless per stage — it is re-read on every
+// row — so Governed has nothing of its own to reset.
+func (g Governed) BeginStage(stage string, frame int64) {
+	if sa, ok := g.Inner.(StageAware); ok {
+		sa.BeginStage(stage, frame)
+	}
+}
+
+// BeginStage implements StageAware by forwarding to a stage-aware split
+// policy.
+func (sd SplitDriven) BeginStage(stage string, frame int64) {
+	if sa, ok := sd.S.(StageAware); ok {
+		sa.BeginStage(stage, frame)
+	}
+}

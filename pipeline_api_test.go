@@ -1,0 +1,116 @@
+package zynqfusion
+
+import (
+	"strings"
+	"testing"
+
+	"zynqfusion/internal/camera"
+)
+
+// TestOptionsValidationTable is the one-stop validation table for the
+// Options knobs that gate construction: PipelineDepth alongside the
+// SplitPolicy and Levels cases, each invalid value paired with the
+// actionable fragment its error must carry.
+func TestOptionsValidationTable(t *testing.T) {
+	cases := []struct {
+		name    string
+		opts    Options
+		wantErr string // "" = must construct
+	}{
+		// PipelineDepth: 0 is the sequential default, the executor itself
+		// requires >= 1, negatives and absurd depths are refused up front.
+		{"pipeline depth default sequential", Options{PipelineDepth: 0}, ""},
+		{"pipeline depth one degenerate", Options{PipelineDepth: 1}, ""},
+		{"pipeline depth overlapped", Options{PipelineDepth: 4}, ""},
+		{"pipeline depth max", Options{PipelineDepth: MaxPipelineDepth}, ""},
+		{"pipeline depth negative", Options{PipelineDepth: -1}, "PipelineDepth must be non-negative"},
+		{"pipeline depth very negative", Options{PipelineDepth: -64}, "PipelineDepth must be non-negative"},
+		{"pipeline depth absurd", Options{PipelineDepth: MaxPipelineDepth + 1}, "exceeds MaxPipelineDepth"},
+		{"pipeline depth ridiculous", Options{PipelineDepth: 1 << 20}, "exceeds MaxPipelineDepth"},
+		// SplitPolicy: named policies and decimal shares pass, junk and
+		// engine mismatches fail.
+		{"split oracle", Options{SplitPolicy: SplitOracle}, ""},
+		{"split decimal share", Options{SplitPolicy: "0.4"}, ""},
+		{"split junk", Options{SplitPolicy: "bogus"}, "unknown split policy"},
+		{"split share out of range", Options{SplitPolicy: "1.5"}, "unknown split policy"},
+		{"split on static engine", Options{Engine: EngineNEON, SplitPolicy: SplitOracle}, "requires the adaptive engine"},
+		// Levels: negative refused at New, over-deep refused at Fuse.
+		{"negative levels", Options{Levels: -1}, "Levels must be non-negative"},
+		{"levels ok", Options{Levels: 4}, ""},
+		// Engine and operating point names.
+		{"unknown engine", Options{Engine: "tpu"}, "unknown engine"},
+		{"unknown operating point", Options{OperatingPoint: "1GHz"}, "unknown operating point"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			f, err := New(tc.opts)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				if want := tc.opts.PipelineDepth; f.PipelineDepth() != want {
+					t.Fatalf("PipelineDepth() = %d, want %d", f.PipelineDepth(), want)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("Options %+v constructed; want error mentioning %q", tc.opts, tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestPipelineDepthPublicAPI drives the public Fuse path at several
+// depths: pixels must not move, the overlapped depths must report shorter
+// periods than sequential once filled, and PipelineStats must only exist
+// for pipelined fusers.
+func TestPipelineDepthPublicAPI(t *testing.T) {
+	sc := camera.NewScene(64, 48, 21)
+	vis, ir := sc.Visible(), sc.Thermal()
+
+	seq, err := New(Options{SplitPolicy: SplitOracle, IncludeIO: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := seq.PipelineStats(); ok {
+		t.Fatal("sequential fuser reports pipeline stats")
+	}
+
+	pf, err := New(Options{SplitPolicy: SplitOracle, IncludeIO: true, PipelineDepth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fuse frame-for-frame on both executors: the split engine's
+	// error-diffusion carry evolves across frames, so frame k is only
+	// comparable against sequential frame k.
+	var last, seqLast Stats
+	for i := 0; i < 8; i++ {
+		want, seqStats, err := seq.Fuse(vis, ir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, st, err := pf.Fuse(vis, ir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for p := range got.Pix {
+			if got.Pix[p] != want.Pix[p] {
+				t.Fatalf("frame %d: pixel %d moved under pipelining", i, p)
+			}
+		}
+		last, seqLast = st, seqStats
+	}
+	if last.Total >= seqLast.Total {
+		t.Fatalf("steady pipelined period %v not below sequential %v", last.Total, seqLast.Total)
+	}
+	ps, ok := pf.PipelineStats()
+	if !ok {
+		t.Fatal("pipelined fuser reports no stats")
+	}
+	if ps.Depth != 4 || ps.Frames != 8 || ps.MeanInFlight <= 1.2 {
+		t.Fatalf("pipeline stats = %+v", ps)
+	}
+}

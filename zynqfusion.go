@@ -123,13 +123,39 @@ type Options struct {
 	// degenerate shares "0" and "1" reproduce the exclusive NEON and FPGA
 	// engines bit-for-bit.
 	SplitPolicy string
+	// PipelineDepth bounds the frames in flight of the inter-frame
+	// pipelined executor, which overlaps the capture/forward/fuse/inverse/
+	// display stages of consecutive frames the way the paper's
+	// double-buffered capture→transform→display hardware chain does. 0
+	// (the default) keeps the classic sequential executor; 1 runs the
+	// pipelined executor degenerated to the sequential schedule
+	// (bit-for-bit identical times, joules and pixels); 2..MaxPipelineDepth
+	// overlap that many frames, driving the steady-state frame period
+	// toward the slowest stage (plus the calibrated buffer-handoff charge)
+	// instead of the stage sum. Pixels are identical at every depth.
+	// Negative values and depths beyond MaxPipelineDepth are rejected.
+	PipelineDepth int
 }
+
+// MaxPipelineDepth is the largest accepted Options.PipelineDepth — a
+// sanity bound well above the point where throughput saturates (the
+// stage-station count, at most 6); deeper values behave like the
+// saturated pipeline and only cost frame-store memory.
+const MaxPipelineDepth = pipeline.MaxDepth
+
+// PipelineStats is the pipelined executor's cumulative occupancy record
+// (fill latency, makespan, mean frames in flight, per-stage utilization).
+type PipelineStats = pipeline.PipelineStats
+
+// StageOccupancy is one pipeline station's share of the cumulative record.
+type StageOccupancy = pipeline.StageOccupancy
 
 // Fuser fuses visible/infrared frame pairs with full simulated platform
 // accounting. It is not safe for concurrent use; create one per goroutine,
 // or use NewFarm to run many governed streams concurrently.
 type Fuser struct {
 	pl   *pipeline.Fuser
+	pp   *pipeline.PipelinedFuser // nil for the classic sequential executor
 	kind EngineKind
 }
 
@@ -140,6 +166,12 @@ func New(opts Options) (*Fuser, error) {
 	}
 	if opts.Levels < 0 {
 		return nil, fmt.Errorf("zynqfusion: Options.Levels must be non-negative, got %d", opts.Levels)
+	}
+	if opts.PipelineDepth < 0 {
+		return nil, fmt.Errorf("zynqfusion: Options.PipelineDepth must be non-negative, got %d (0 = sequential, 2+ overlaps frames)", opts.PipelineDepth)
+	}
+	if opts.PipelineDepth > MaxPipelineDepth {
+		return nil, fmt.Errorf("zynqfusion: Options.PipelineDepth = %d exceeds MaxPipelineDepth %d; depth past the stage count buys nothing", opts.PipelineDepth, MaxPipelineDepth)
 	}
 	op := dvfs.Nominal()
 	if opts.OperatingPoint != "" {
@@ -158,7 +190,15 @@ func New(opts Options) (*Fuser, error) {
 		Rule:      opts.Rule,
 		IncludeIO: opts.IncludeIO,
 	}
-	return &Fuser{pl: pipeline.New(eng, cfg), kind: opts.Engine}, nil
+	f := &Fuser{pl: pipeline.New(eng, cfg), kind: opts.Engine}
+	if opts.PipelineDepth >= 1 {
+		pp, err := pipeline.NewPipelined(f.pl, opts.PipelineDepth)
+		if err != nil {
+			return nil, fmt.Errorf("zynqfusion: %w", err)
+		}
+		f.pp = pp
+	}
+	return f, nil
 }
 
 func buildEngine(opts Options, op dvfs.OperatingPoint) (engine.Engine, error) {
@@ -229,7 +269,28 @@ func (f *Fuser) Fuse(vis, ir *Frame) (*Frame, Stats, error) {
 				levels, vis.W, vis.H, max)
 		}
 	}
+	if f.pp != nil {
+		return f.pp.FuseFrames(vis, ir)
+	}
 	return f.pl.FuseFrames(vis, ir)
+}
+
+// PipelineStats reports the pipelined executor's cumulative occupancy
+// record; ok is false for sequential (PipelineDepth 0) fusers.
+func (f *Fuser) PipelineStats() (PipelineStats, bool) {
+	if f.pp == nil {
+		return PipelineStats{}, false
+	}
+	return f.pp.Stats(), true
+}
+
+// PipelineDepth reports the configured in-flight frame budget (0 for the
+// classic sequential executor).
+func (f *Fuser) PipelineDepth() int {
+	if f.pp == nil {
+		return 0
+	}
+	return f.pp.Depth()
 }
 
 // MaxLevels reports the deepest usable decomposition for a frame size.

@@ -6,7 +6,7 @@
 // Usage:
 //
 //	fusiond -addr :8080
-//	fusiond -addr :8080 -budget-mw 2200 -streams 4
+//	fusiond -addr :8080 -budget-mw 2200 -streams 4 -pool-stream-mb 8
 //
 // API:
 //
@@ -34,15 +34,18 @@ import (
 	"syscall"
 	"time"
 
+	"zynqfusion/internal/bufpool"
 	"zynqfusion/internal/farm"
 	"zynqfusion/internal/sim"
 )
 
 // options carries the daemon's flag-settable configuration.
 type options struct {
-	budgetMW float64 // aggregate power budget in mW (0 = unlimited)
-	queueCap int     // default per-stream capture queue depth
-	streams  int     // demo streams to start at boot
+	budgetMW     float64 // aggregate power budget in mW (0 = unlimited)
+	queueCap     int     // default per-stream capture queue depth
+	streams      int     // demo streams to start at boot
+	poolCapMB    float64 // frame-store arena ceiling in MB (0 = unbounded)
+	poolStreamMB float64 // per-stream sub-pool ceiling in MB (0 = unbounded)
 }
 
 // newDaemon builds the farm and its HTTP handler from the options: the
@@ -52,6 +55,10 @@ func newDaemon(opt options) (*farm.Farm, http.Handler, error) {
 	fm := farm.New(farm.Config{
 		PowerBudget:     sim.Watts(opt.budgetMW / 1e3),
 		DefaultQueueCap: opt.queueCap,
+		BufferPool: bufpool.Budget{
+			CapBytes:  int64(opt.poolCapMB * (1 << 20)),
+			PerStream: int64(opt.poolStreamMB * (1 << 20)),
+		},
 	})
 	for i := 0; i < opt.streams; i++ {
 		if _, err := fm.Submit(farm.StreamConfig{Seed: int64(i + 1)}); err != nil {
@@ -88,6 +95,8 @@ func main() {
 	flag.Float64Var(&opt.budgetMW, "budget-mw", 0, "aggregate power budget in mW (0 = unlimited)")
 	flag.IntVar(&opt.queueCap, "queue", 4, "default per-stream capture queue depth")
 	flag.IntVar(&opt.streams, "streams", 0, "demo streams to start at boot")
+	flag.Float64Var(&opt.poolCapMB, "pool-cap-mb", 0, "frame-store arena ceiling in MB across all streams (0 = unbounded)")
+	flag.Float64Var(&opt.poolStreamMB, "pool-stream-mb", 0, "per-stream frame-store budget in MB (0 = unbounded)")
 	flag.Parse()
 
 	fm, handler, err := newDaemon(opt)

@@ -122,6 +122,18 @@ func TestGracefulDrain(t *testing.T) {
 	if m.Aggregate.Streams != 2 || m.Aggregate.Active != 0 {
 		t.Errorf("flushed aggregate = %+v", m.Aggregate)
 	}
+	// The final flush carries the runtime memory telemetry, and every
+	// frame-store lease has come home: the drained process reports a clean
+	// arena next to its heap and GC figures.
+	if m.Memory.HeapAllocBytes == 0 || m.Memory.Mallocs == 0 {
+		t.Errorf("flushed memory telemetry empty: %+v", m.Memory)
+	}
+	if m.Memory.Pool.Outstanding != 0 {
+		t.Errorf("drained farm still holds %d frame-store leases", m.Memory.Pool.Outstanding)
+	}
+	if m.Memory.Pool.Gets > 0 && m.Memory.PoolHitRate <= 0 {
+		t.Errorf("pool hit rate missing from flush: %+v", m.Memory)
+	}
 }
 
 func TestNewDaemonFarmOwnership(t *testing.T) {

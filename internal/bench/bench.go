@@ -151,6 +151,9 @@ func All() []Experiment {
 		{ID: "pipeline-throughput", Title: "Extension — inter-frame pipelined execution: depth x size x operating point",
 			Run:  RunPipelineThroughput,
 			JSON: func() (any, error) { return PipelineThroughput() }},
+		{ID: "mem-steadystate", Title: "Extension — zero-copy frame stores: allocs/frame, GC and arena footprint, 1-64 streams",
+			Run:  RunMemSteadyState,
+			JSON: func() (any, error) { return MemSteadyState() }},
 	}
 	return exps // declaration order
 }

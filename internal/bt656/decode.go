@@ -29,6 +29,14 @@ type Decoder struct {
 	line      []byte
 	lines     [][]byte
 	completed []*frame.Frame
+
+	// Recycled storage: line buffers rotate through spareLines once their
+	// field is emitted, and Recycle lets the consumer donate a drained
+	// field frame back — the double-buffered capture frame stores of the
+	// real decoder, which owns a fixed set rather than allocating per
+	// field.
+	spareLines  [][]byte
+	spareFrames []*frame.Frame
 }
 
 // NewDecoder returns a decoder expecting the given active width in pixels.
@@ -119,7 +127,13 @@ func (d *Decoder) endLine() {
 		}
 		return
 	}
-	y := make([]byte, d.width)
+	var y []byte
+	if n := len(d.spareLines); n > 0 {
+		y = d.spareLines[n-1][:d.width]
+		d.spareLines = d.spareLines[:n-1]
+	} else {
+		y = make([]byte, d.width)
+	}
 	for i := 0; i < d.width; i++ {
 		y[i] = d.line[2*i+1] // Cb Y Cr Y multiplex: luma at odd offsets
 	}
@@ -136,16 +150,42 @@ func (d *Decoder) finishField() {
 	if len(d.lines) == 0 {
 		return
 	}
-	f := frame.New(d.width, len(d.lines))
+	f := d.takeFrame(d.width, len(d.lines))
 	for r, y := range d.lines {
 		row := f.Row(r)
 		for i, v := range y {
 			row[i] = float32(v)
 		}
 	}
+	d.spareLines = append(d.spareLines, d.lines...)
 	d.lines = d.lines[:0]
 	d.completed = append(d.completed, f)
 	d.Stats.Frames++
+}
+
+// takeFrame reuses a recycled field frame of the right shape, allocating
+// only when none was donated back.
+func (d *Decoder) takeFrame(w, h int) *frame.Frame {
+	for i, f := range d.spareFrames {
+		if f.W == w && f.H == h {
+			last := len(d.spareFrames) - 1
+			d.spareFrames[i] = d.spareFrames[last]
+			d.spareFrames = d.spareFrames[:last]
+			return f
+		}
+	}
+	return frame.New(w, h)
+}
+
+// Recycle donates a fully consumed field frame back to the decoder's
+// store, so steady-state decoding stops allocating per field. The caller
+// must not touch the frame afterwards. Only plain frames from NextFrame
+// should come back; anything else is dropped.
+func (d *Decoder) Recycle(f *frame.Frame) {
+	if f == nil || f.Leased() || f.IsView() || len(d.spareFrames) >= 4 {
+		return
+	}
+	d.spareFrames = append(d.spareFrames, f)
 }
 
 // Flush emits any partially collected field (end of stream).

@@ -21,10 +21,27 @@ func (s Scaler) Scale(src *frame.Frame) (*frame.Frame, error) {
 	if s.OutW <= 0 || s.OutH <= 0 {
 		return nil, fmt.Errorf("bt656.Scaler: bad output size %dx%d", s.OutW, s.OutH)
 	}
-	if src.W == 0 || src.H == 0 {
-		return nil, fmt.Errorf("bt656.Scaler: empty source")
-	}
 	dst := frame.New(s.OutW, s.OutH)
+	if err := s.ScaleInto(dst, src); err != nil {
+		return nil, err
+	}
+	return dst, nil
+}
+
+// ScaleInto resamples src into dst, which must already have the
+// configured output geometry — the in-place form a hardware scaler block
+// writing its fixed output frame store uses. Every output sample is
+// written.
+func (s Scaler) ScaleInto(dst, src *frame.Frame) error {
+	if s.OutW <= 0 || s.OutH <= 0 {
+		return fmt.Errorf("bt656.Scaler: bad output size %dx%d", s.OutW, s.OutH)
+	}
+	if src.W == 0 || src.H == 0 {
+		return fmt.Errorf("bt656.Scaler: empty source")
+	}
+	if dst.W != s.OutW || dst.H != s.OutH {
+		return fmt.Errorf("bt656.Scaler: destination %dx%d, want %dx%d", dst.W, dst.H, s.OutW, s.OutH)
+	}
 	sx := float64(src.W) / float64(s.OutW)
 	sy := float64(src.H) / float64(s.OutH)
 	for y := 0; y < s.OutH; y++ {
@@ -38,7 +55,7 @@ func (s Scaler) Scale(src *frame.Frame) (*frame.Frame, error) {
 			}
 		}
 	}
-	return dst, nil
+	return nil
 }
 
 func nearest(src *frame.Frame, fx, fy float64) float32 {

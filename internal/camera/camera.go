@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"zynqfusion/internal/bt656"
+	"zynqfusion/internal/bufpool"
 	"zynqfusion/internal/frame"
 )
 
@@ -15,28 +16,60 @@ type Webcam struct {
 	scene *Scene
 	// Frames counts captures.
 	Frames int64
+
+	pool   *bufpool.Pool // delivered frames lease from here when set
+	sensor *frame.Frame  // reusable render buffer (the sensor's own store)
+	rgb    []byte        // reusable interleaved-RGB staging buffer
 }
 
 // NewWebcam attaches a webcam to a scene.
 func NewWebcam(s *Scene) *Webcam { return &Webcam{scene: s} }
 
+// SetPool makes the webcam deliver captured frames as leases from p — the
+// camera writes straight into the capture frame store, VDMA-style — and
+// the consumer Releases each frame when done. Without a pool every capture
+// is a fresh plain frame.
+func (w *Webcam) SetPool(p *bufpool.Pool) { w.pool = p }
+
 // Capture returns the current greyscale frame. The RGB sensor mosaic and
 // USB decode are folded into the scene's visible rendering plus the
 // standard luma conversion.
-func (w *Webcam) Capture() *frame.Frame {
+func (w *Webcam) Capture() (*frame.Frame, error) {
 	w.Frames++
-	vis := w.scene.Visible()
+	if w.sensor == nil {
+		w.sensor = frame.New(w.scene.W, w.scene.H)
+	}
+	w.scene.VisibleInto(w.sensor)
+	vis := w.sensor
 	// Round-trip through interleaved RGB, as the USB path delivers it.
-	rgb := make([]byte, vis.W*vis.H*3)
+	if need := vis.W * vis.H * 3; cap(w.rgb) < need {
+		w.rgb = make([]byte, need)
+	}
+	rgb := w.rgb[:vis.W*vis.H*3]
 	for i, v := range vis.Pix {
 		b := clampByte(v)
 		rgb[3*i], rgb[3*i+1], rgb[3*i+2] = b, b, b
 	}
-	g, err := frame.GrayFromRGB(vis.W, vis.H, rgb)
+	g, err := w.outFrame(vis.W, vis.H)
 	if err != nil {
+		return nil, err
+	}
+	if err := frame.GrayFromRGBInto(g, rgb); err != nil {
+		g.Release()
 		panic("camera: internal RGB conversion: " + err.Error())
 	}
-	return g
+	return g, nil
+}
+
+func (w *Webcam) outFrame(fw, fh int) (*frame.Frame, error) {
+	if w.pool == nil {
+		return frame.New(fw, fh), nil
+	}
+	f, err := w.pool.Get(fw, fh)
+	if err != nil {
+		return nil, fmt.Errorf("camera: webcam frame store: %w", err)
+	}
+	return f, nil
 }
 
 func clampByte(v float32) byte {
@@ -61,6 +94,10 @@ type Thermal struct {
 	scaler bt656.Scaler
 	fifo   bt656.OutputFIFO
 	stream []byte
+
+	pool   *bufpool.Pool // delivered frames lease from here when set
+	sensor *frame.Frame  // reusable scene render at the sensor geometry
+	field  *frame.Frame  // reusable native-geometry field store
 
 	// TargetW and TargetH are the fusion geometry (the paper fuses 88x72
 	// because the longwave sensor resolution is the limit).
@@ -89,19 +126,31 @@ func (t *Thermal) Stats() bt656.DecoderStats { return t.dec.Stats }
 // FIFO exposes the output FIFO counters.
 func (t *Thermal) FIFO() *bt656.OutputFIFO { return &t.fifo }
 
+// SetPool makes the thermal camera deliver frames as leases from p (the
+// consumer Releases each). Without a pool every capture is a fresh plain
+// frame. The BT.656 intermediates — sensor render, native field store,
+// byte stream, decoder lines — are persistent either way, mirroring the
+// fixed capture buffers of the Fig. 7 chain.
+func (t *Thermal) SetPool(p *bufpool.Pool) { t.pool = p }
+
 // Capture renders the scene at the sensor, pushes it through the BT.656
 // path and returns the scaled frame. It fails only if the handshake FIFO
 // still holds an unconsumed frame.
 func (t *Thermal) Capture() (*frame.Frame, error) {
 	// Render at the native field geometry: the scene is observed at the
 	// sensor's own resolution before serialization.
-	ir := t.scene.Thermal()
+	if t.sensor == nil {
+		t.sensor = frame.New(t.scene.W, t.scene.H)
+	}
+	t.scene.ThermalInto(t.sensor)
+	if t.field == nil {
+		t.field = frame.New(t.native.w, t.native.h)
+	}
 	up := bt656.Scaler{OutW: t.native.w, OutH: t.native.h, Bilinear: true}
-	field, err := up.Scale(ir)
-	if err != nil {
+	if err := up.ScaleInto(t.field, t.sensor); err != nil {
 		return nil, err
 	}
-	t.stream = t.enc.Encode(t.stream[:0], field)
+	t.stream = t.enc.Encode(t.stream[:0], t.field)
 	if _, err := t.dec.Write(t.stream); err != nil {
 		return nil, err
 	}
@@ -110,11 +159,22 @@ func (t *Thermal) Capture() (*frame.Frame, error) {
 	if !ok {
 		return nil, fmt.Errorf("camera: BT.656 decode produced no field")
 	}
-	scaled, err := t.scaler.Scale(raw)
-	if err != nil {
+	var scaled *frame.Frame
+	if t.pool != nil {
+		var err error
+		if scaled, err = t.pool.Get(t.TargetW, t.TargetH); err != nil {
+			return nil, fmt.Errorf("camera: thermal frame store: %w", err)
+		}
+	} else {
+		scaled = frame.New(t.TargetW, t.TargetH)
+	}
+	if err := t.scaler.ScaleInto(scaled, raw); err != nil {
+		scaled.Release()
 		return nil, err
 	}
+	t.dec.Recycle(raw)
 	if !t.fifo.Push(scaled) {
+		scaled.Release()
 		return nil, fmt.Errorf("camera: output FIFO full (previous frame not taken)")
 	}
 	out, _ := t.fifo.Pop()

@@ -65,7 +65,10 @@ func TestSceneAdvanceMovesHotspots(t *testing.T) {
 func TestWebcamCaptureGeometryAndRange(t *testing.T) {
 	s := NewScene(88, 72, 5)
 	w := NewWebcam(s)
-	f := w.Capture()
+	f, err := w.Capture()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if f.W != 88 || f.H != 72 {
 		t.Fatalf("capture %dx%d", f.W, f.H)
 	}

@@ -1,0 +1,88 @@
+package camera
+
+import (
+	"testing"
+
+	"zynqfusion/internal/bufpool"
+)
+
+// TestPooledCaptureMatchesPlainAndRecycles pins the zero-copy capture
+// path: with a pool installed both cameras deliver leased frames that are
+// pixel-identical to the allocating path, and steady-state capture runs on
+// free-list hits once the consumer releases each frame.
+func TestPooledCaptureMatchesPlainAndRecycles(t *testing.T) {
+	mk := func(pool *bufpool.Pool) (*Scene, *Webcam, *Thermal) {
+		s := NewScene(88, 72, 77)
+		w := NewWebcam(s)
+		th, err := NewThermal(s, 88, 72)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pool != nil {
+			w.SetPool(pool)
+			th.SetPool(pool)
+		}
+		return s, w, th
+	}
+	pool := bufpool.New(bufpool.Options{})
+	ps, pw, pt := mk(pool)
+	rs, rw, rt := mk(nil)
+
+	for i := 0; i < 4; i++ {
+		ps.Advance()
+		rs.Advance()
+		pv, err := pw.Capture()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rv, err := rw.Capture()
+		if err != nil {
+			t.Fatal(err)
+		}
+		pi, err := pt.Capture()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ri, err := rt.Capture()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !pv.Leased() || !pi.Leased() {
+			t.Fatal("pooled captures must be leased")
+		}
+		for j := range rv.Pix {
+			if pv.Pix[j] != rv.Pix[j] {
+				t.Fatalf("frame %d: visible pixel %d differs", i, j)
+			}
+		}
+		for j := range ri.Pix {
+			if pi.Pix[j] != ri.Pix[j] {
+				t.Fatalf("frame %d: thermal pixel %d differs", i, j)
+			}
+		}
+		pv.Release()
+		pi.Release()
+	}
+	st := pool.Stats()
+	if st.Hits == 0 {
+		t.Fatalf("capture never reused a frame store: %+v", st)
+	}
+	if err := pool.CheckLeaks(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestThermalCapBoundedPoolFailsCleanly pins the deterministic ceiling at
+// the capture layer.
+func TestThermalCapBoundedPoolFailsCleanly(t *testing.T) {
+	s := NewScene(88, 72, 1)
+	th, err := NewThermal(s, 88, 72)
+	if err != nil {
+		t.Fatal(err)
+	}
+	th.SetPool(bufpool.New(bufpool.Options{CapBytes: 64})) // under one plane
+	s.Advance()
+	if _, err := th.Capture(); err == nil {
+		t.Fatal("capture fit an impossible budget")
+	}
+}

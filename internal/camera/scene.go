@@ -91,6 +91,17 @@ func (s *Scene) Advance() {
 // objects stand (people are visible but low-contrast in dim light).
 func (s *Scene) Visible() *frame.Frame {
 	f := frame.New(s.W, s.H)
+	s.VisibleInto(f)
+	return f
+}
+
+// VisibleInto renders the visible view into f, which must have the
+// scene's geometry. Every sample is overwritten, so a reused (sensor
+// double-buffer) frame renders identically to a fresh one.
+func (s *Scene) VisibleInto(f *frame.Frame) {
+	if f.W != s.W || f.H != s.H {
+		panic("camera: VisibleInto frame geometry mismatch")
+	}
 	copy(f.Pix, s.texture)
 	for _, h := range s.hotspots {
 		s.splat(f, h, -18, 0.8) // slight darkening, soft edge
@@ -100,13 +111,22 @@ func (s *Scene) Visible() *frame.Frame {
 	for i := range f.Pix {
 		f.Pix[i] += float32(4 * (nrng.Float64() - 0.5))
 	}
-	return f
 }
 
 // Thermal renders the infrared view: a cool, nearly featureless
 // background with bright hotspots.
 func (s *Scene) Thermal() *frame.Frame {
 	f := frame.New(s.W, s.H)
+	s.ThermalInto(f)
+	return f
+}
+
+// ThermalInto renders the infrared view into f (every sample written),
+// the reusable-frame form of Thermal.
+func (s *Scene) ThermalInto(f *frame.Frame) {
+	if f.W != s.W || f.H != s.H {
+		panic("camera: ThermalInto frame geometry mismatch")
+	}
 	for y := 0; y < s.H; y++ {
 		for x := 0; x < s.W; x++ {
 			f.Set(x, y, float32(35+10*math.Sin(2*math.Pi*float64(x+y)/float64(s.W+s.H))))
@@ -119,7 +139,6 @@ func (s *Scene) Thermal() *frame.Frame {
 	for i := range f.Pix {
 		f.Pix[i] += float32(6 * (nrng.Float64() - 0.5))
 	}
-	return f
 }
 
 // splat adds a Gaussian blob of the given amplitude at a hotspot.

@@ -86,6 +86,12 @@ type Device struct {
 
 	// CPUBusy and HWBusy accumulate busy (not wall) time for reporting.
 	CPUBusy, HWBusy sim.Time
+
+	// rowScratch is the reusable staging buffer for the interleaved
+	// (hp, lp) row format at the accelerator boundary. On the real system
+	// the pack/unpack works in the fixed kernel buffer; allocating it per
+	// row was pure Go-side churn.
+	rowScratch []float32
 }
 
 // Open attaches to the wave engine and allocates the kernel buffers.
@@ -140,6 +146,16 @@ func (d *Device) Close() error {
 	return nil
 }
 
+// scratch returns the n-word staging buffer, grown as needed. Its previous
+// contents are dead by the time it is reused: runRow copies it into (or
+// fills it from) the kernel buffer synchronously before returning.
+func (d *Device) scratch(n int) []float32 {
+	if cap(d.rowScratch) < n {
+		d.rowScratch = make([]float32, n)
+	}
+	return d.rowScratch[:n]
+}
+
 // copyCost returns the modeled user-memcpy time for n words.
 func (d *Device) copyCost(n int) sim.Time {
 	return d.cfg.PS.CyclesF(d.cfg.UserCopyCyclesPerWord * float64(n))
@@ -168,7 +184,7 @@ func (d *Device) ForwardRow(px []float32, lo, hi []float32) error {
 		return ErrClosed
 	}
 	m := len(lo)
-	out := make([]float32, 2*m)
+	out := d.scratch(2 * m)
 	if err := d.runRow(px, out, true); err != nil {
 		return err
 	}
@@ -192,7 +208,7 @@ func (d *Device) InverseRow(plo, phi []float32, out []float32) error {
 	if len(phi) != pairs {
 		return fmt.Errorf("%w: plo=%d phi=%d", ErrRowSize, pairs, len(phi))
 	}
-	in := make([]float32, 2*pairs)
+	in := d.scratch(2 * pairs)
 	for i := 0; i < pairs; i++ {
 		in[2*i] = plo[i]
 		in[2*i+1] = phi[i]

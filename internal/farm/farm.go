@@ -3,9 +3,11 @@ package farm
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 
+	"zynqfusion/internal/bufpool"
 	"zynqfusion/internal/sim"
 )
 
@@ -26,13 +28,21 @@ type Config struct {
 	// DefaultQueueCap overrides the per-stream capture queue depth for
 	// streams that do not set their own (default 4).
 	DefaultQueueCap int `json:"default_queue_cap"`
+	// BufferPool sizes the farm's shared frame-store arena: CapBytes
+	// bounds the whole farm's pixel-plane footprint and PerStream gives
+	// each stream's budgeted sub-pool (zero = unbounded). A stream that
+	// cannot fit its working set in its budget fails its frame with a
+	// descriptive ErrOverCap instead of growing, so fusiond gets a
+	// deterministic, configurable memory ceiling.
+	BufferPool bufpool.Budget `json:"buffer_pool"`
 }
 
 // Farm runs many fusion streams over per-worker pipelines and a shared
 // energy governor. All methods are safe for concurrent use.
 type Farm struct {
-	cfg Config
-	gov *Governor
+	cfg  Config
+	gov  *Governor
+	pool *bufpool.Pool // shared frame-store arena; streams get sub-pools
 
 	mu      sync.Mutex
 	streams map[string]*Stream
@@ -47,6 +57,7 @@ func New(cfg Config) *Farm {
 	return &Farm{
 		cfg:     cfg,
 		gov:     NewGovernor(cfg.PowerBudget),
+		pool:    bufpool.New(bufpool.Options{CapBytes: cfg.BufferPool.CapBytes}),
 		streams: make(map[string]*Stream),
 		pending: make(map[string]struct{}),
 	}
@@ -54,6 +65,9 @@ func New(cfg Config) *Farm {
 
 // Governor exposes the shared arbiter (read-mostly: stats and spans).
 func (f *Farm) Governor() *Governor { return f.gov }
+
+// Pool exposes the farm's shared frame-store arena (stats, leak checks).
+func (f *Farm) Pool() *bufpool.Pool { return f.pool }
 
 // Submit validates, registers and starts a stream. Stream construction —
 // which for a deadline-paced stream includes the per-operating-point
@@ -88,7 +102,7 @@ func (f *Farm) Submit(cfg StreamConfig) (*Stream, error) {
 	f.pending[cfg.ID] = struct{}{}
 	f.mu.Unlock()
 
-	s, err := newStream(cfg, f.gov)
+	s, err := newStream(cfg, f.gov, f.pool.Sub(f.cfg.BufferPool.PerStream))
 
 	f.mu.Lock()
 	delete(f.pending, cfg.ID)
@@ -214,5 +228,24 @@ func (f *Farm) Metrics() Metrics {
 		Streams:   teles,
 		Aggregate: agg,
 		Governor:  gov,
+		Memory:    f.memoryTelemetry(),
+	}
+}
+
+// memoryTelemetry samples the Go runtime and the frame-store arena, so
+// operators can watch the pooling win (allocs, GC pressure, hit rate,
+// high-water footprint) live on /metrics and in the graceful-drain flush.
+func (f *Farm) memoryTelemetry() MemoryTelemetry {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	ps := f.pool.Stats()
+	return MemoryTelemetry{
+		HeapAllocBytes: ms.HeapAlloc,
+		HeapSysBytes:   ms.HeapSys,
+		Mallocs:        ms.Mallocs,
+		GCCycles:       ms.NumGC,
+		GCPauseTotalNS: ms.PauseTotalNs,
+		Pool:           ps,
+		PoolHitRate:    ps.HitRate(),
 	}
 }

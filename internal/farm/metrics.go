@@ -1,6 +1,7 @@
 package farm
 
 import (
+	"zynqfusion/internal/bufpool"
 	"zynqfusion/internal/pipeline"
 	"zynqfusion/internal/sim"
 )
@@ -148,6 +149,11 @@ type StreamTelemetry struct {
 	PipelineFill     sim.Time           `json:"pipeline_fill_ps,omitempty"`
 	StageOccupancy   map[string]float64 `json:"stage_occupancy,omitempty"`
 
+	// Pool is the stream's budgeted frame-store sub-pool telemetry: hit
+	// rate, outstanding leases, high-water footprint. Nil for streams
+	// predating the pool (never in practice).
+	Pool *bufpool.Stats `json:"pool,omitempty"`
+
 	// Err records a terminal stream error, if any.
 	Err string `json:"error,omitempty"`
 }
@@ -178,9 +184,28 @@ type AggregateTelemetry struct {
 	SlackEnergy    sim.Joules `json:"slack_energy_joules"`
 }
 
+// MemoryTelemetry is the farm's runtime-memory snapshot: Go heap and GC
+// figures next to the frame-store arena's ledger, so the zero-copy win is
+// visible to operators (near-flat Mallocs and GC cycles under load once
+// the pool is warm).
+type MemoryTelemetry struct {
+	HeapAllocBytes uint64 `json:"heap_alloc_bytes"`
+	HeapSysBytes   uint64 `json:"heap_sys_bytes"`
+	// Mallocs counts cumulative heap allocations of the whole process.
+	Mallocs uint64 `json:"mallocs"`
+	// GCCycles and GCPauseTotalNS summarize collector activity.
+	GCCycles       uint32 `json:"gc_cycles"`
+	GCPauseTotalNS uint64 `json:"gc_pause_total_ns"`
+	// Pool is the shared frame-store arena's ledger and PoolHitRate its
+	// fraction of acquires served without allocating.
+	Pool        bufpool.Stats `json:"pool"`
+	PoolHitRate float64       `json:"pool_hit_rate"`
+}
+
 // Metrics is the full farm snapshot served by /metrics.
 type Metrics struct {
 	Streams   []StreamTelemetry  `json:"streams"`
 	Aggregate AggregateTelemetry `json:"aggregate"`
 	Governor  GovernorStats      `json:"governor"`
+	Memory    MemoryTelemetry    `json:"memory"`
 }

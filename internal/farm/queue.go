@@ -12,6 +12,17 @@ type framePair struct {
 	seq     int64
 }
 
+// release returns the pair's capture leases to their pool (no-ops for
+// plain frames).
+func (p framePair) release() {
+	if p.vis != nil {
+		p.vis.Release()
+	}
+	if p.ir != nil {
+		p.ir.Release()
+	}
+}
+
 // frameQueue is a bounded FIFO of captured frame pairs with a drop-oldest
 // overflow policy: a capture source never blocks on a slow fuser, it
 // evicts the stalest queued pair instead — the behavior of a real capture
@@ -42,9 +53,11 @@ func (q *frameQueue) Push(p framePair) (evicted bool) {
 	defer q.mu.Unlock()
 	if q.closed {
 		q.dropped++
+		p.release() // consumer is gone; return the capture stores
 		return true
 	}
 	if len(q.buf) >= q.cap {
+		q.buf[0].release() // evicted pair's frame stores go back to the pool
 		q.buf = q.buf[1:]
 		q.dropped++
 		evicted = true

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"sync"
 
 	"zynqfusion/internal/dvfs"
 )
@@ -93,23 +94,30 @@ func NewServer(f *Farm) http.Handler {
 		writeJSON(w, http.StatusOK, s.Telemetry())
 	})
 
+	// PGM encode buffers recycle across snapshot requests: the frame is
+	// encoded straight off the stream's display store into a reused
+	// buffer — no per-request frame clone, no per-request byte slice —
+	// while concurrent requests stay independent (each borrows its own
+	// buffer, so a stalled client never blocks another stream's snapshot).
+	snapBufs := sync.Pool{New: func() any { return new([]byte) }}
 	mux.HandleFunc("GET /streams/{id}/snapshot.pgm", func(w http.ResponseWriter, r *http.Request) {
 		s, ok := f.Get(r.PathValue("id"))
 		if !ok {
 			writeError(w, http.StatusNotFound, "no such stream")
 			return
 		}
-		snap := s.Snapshot()
-		if snap == nil {
+		bp := snapBufs.Get().(*[]byte)
+		defer snapBufs.Put(bp)
+		buf, ok := s.AppendSnapshotPGM((*bp)[:0])
+		*bp = buf[:0]
+		if !ok {
 			writeError(w, http.StatusNotFound, "no fused frame yet")
 			return
 		}
 		w.Header().Set("Content-Type", "image/x-portable-graymap")
-		if err := snap.WritePGM(w); err != nil {
-			// Headers are gone; nothing more to do than log via the
-			// server's error path.
-			return
-		}
+		// A short write means the client went away; headers are gone, so
+		// there is nothing more to do.
+		w.Write(buf)
 	})
 
 	return mux

@@ -1,13 +1,16 @@
 package farm
 
 import (
+	"zynqfusion/internal/bufpool"
 	"zynqfusion/internal/camera"
 	"zynqfusion/internal/frame"
 )
 
 // Source produces visible/infrared frame pairs for one stream.
 // Implementations need not be safe for concurrent use: a source is driven
-// by exactly one producer goroutine.
+// by exactly one producer goroutine. Pairs may be leased from a stream's
+// buffer pool; the consumer releases them after fusion (and the queue
+// releases evicted ones).
 type Source interface {
 	// Next captures the next pair.
 	Next() (vis, ir *frame.Frame, err error)
@@ -23,16 +26,31 @@ type SyntheticSource struct {
 }
 
 // NewSyntheticSource builds a synthetic capture chain at the given fusion
-// geometry, seeded deterministically.
+// geometry, seeded deterministically. Captured frames are fresh plain
+// allocations; NewSyntheticSourcePooled is the zero-copy form.
 func NewSyntheticSource(w, h int, seed int64) (*SyntheticSource, error) {
+	return NewSyntheticSourcePooled(w, h, seed, nil)
+}
+
+// NewSyntheticSourcePooled builds the capture chain with both cameras
+// delivering leased frames from pool (pass nil for plain allocation): the
+// camera writes into a pooled capture frame store and the fusion consumer
+// releases it, so a steady-state stream captures without allocating —
+// the VDMA frame-store handoff of the paper's system.
+func NewSyntheticSourcePooled(w, h int, seed int64, pool *bufpool.Pool) (*SyntheticSource, error) {
 	scene := camera.NewScene(w, h, seed)
 	thermal, err := camera.NewThermal(scene, w, h)
 	if err != nil {
 		return nil, err
 	}
+	webcam := camera.NewWebcam(scene)
+	if pool != nil {
+		webcam.SetPool(pool)
+		thermal.SetPool(pool)
+	}
 	return &SyntheticSource{
 		scene:   scene,
-		webcam:  camera.NewWebcam(scene),
+		webcam:  webcam,
 		thermal: thermal,
 	}, nil
 }
@@ -40,9 +58,13 @@ func NewSyntheticSource(w, h int, seed int64) (*SyntheticSource, error) {
 // Next implements Source.
 func (s *SyntheticSource) Next() (*frame.Frame, *frame.Frame, error) {
 	s.scene.Advance()
-	vis := s.webcam.Capture()
+	vis, err := s.webcam.Capture()
+	if err != nil {
+		return nil, nil, err
+	}
 	ir, err := s.thermal.Capture()
 	if err != nil {
+		vis.Release()
 		return nil, nil, err
 	}
 	return vis, ir, nil

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"zynqfusion/internal/bufpool"
 	"zynqfusion/internal/dvfs"
 	"zynqfusion/internal/frame"
 	"zynqfusion/internal/fusion"
@@ -157,6 +158,7 @@ type Stream struct {
 	cfg  StreamConfig
 	gov  *Governor
 	gate *gate
+	pool *bufpool.Pool // budgeted frame-store sub-pool
 
 	dvfsGov    dvfs.Governor
 	dvfsPolicy string // normalized policy name, valid dvfs.ForPolicy input
@@ -209,8 +211,11 @@ type Stream struct {
 // newStream validates the configuration and builds the stream, unstarted.
 // Capacity knobs are checked on the raw config, before defaults fill in,
 // so a negative queue depth or frame budget is refused with a descriptive
-// error at Submit instead of silently becoming the default.
-func newStream(cfg StreamConfig, gov *Governor) (*Stream, error) {
+// error at Submit instead of silently becoming the default. pool is the
+// stream's budgeted frame-store sub-pool; every capture buffer, transform
+// plane and fused output the stream touches leases from it (nil builds a
+// private unbounded pool).
+func newStream(cfg StreamConfig, gov *Governor, pool *bufpool.Pool) (*Stream, error) {
 	if cfg.QueueCap < 0 {
 		return nil, fmt.Errorf("farm: queue_cap must be non-negative, got %d (zero selects the default depth)", cfg.QueueCap)
 	}
@@ -265,7 +270,10 @@ func newStream(cfg StreamConfig, gov *Governor) (*Stream, error) {
 	if err != nil {
 		return nil, err
 	}
-	src, err := NewSyntheticSource(cfg.W, cfg.H, cfg.Seed)
+	if pool == nil {
+		pool = bufpool.New(bufpool.Options{})
+	}
+	src, err := NewSyntheticSourcePooled(cfg.W, cfg.H, cfg.Seed, pool)
 	if err != nil {
 		return nil, err
 	}
@@ -284,6 +292,7 @@ func newStream(cfg StreamConfig, gov *Governor) (*Stream, error) {
 		cfg:        cfg,
 		gov:        gov,
 		gate:       &gate{},
+		pool:       pool,
 		dvfsGov:    dg,
 		dvfsPolicy: policyName,
 		deadline:   deadline,
@@ -439,7 +448,7 @@ func (s *Stream) fuserAt(op dvfs.OperatingPoint) *opFuser {
 	of := &opFuser{
 		op:       op,
 		adaptive: ad,
-		fuser:    pipeline.New(ad, pipeline.Config{Levels: s.cfg.Levels, Rule: s.rule, IncludeIO: true}),
+		fuser:    pipeline.New(ad, pipeline.Config{Levels: s.cfg.Levels, Rule: s.rule, IncludeIO: true, Pool: s.pool}),
 		lastRows: make(map[string]int64),
 		lastTime: make(map[string]sim.Time),
 	}
@@ -548,6 +557,7 @@ func (s *Stream) consume() {
 			return
 		}
 		if s.stopped.Load() {
+			p.release() // unfused pair's capture stores go back to the pool
 			s.mu.Lock()
 			s.droppedShutdown++
 			s.mu.Unlock()
@@ -595,6 +605,9 @@ func (s *Stream) fuseOne(p framePair) {
 			}
 		}
 	}
+	// The capture frame stores are consumed; hand them back for the next
+	// capture regardless of how the fusion went.
+	p.release()
 	if err != nil {
 		s.fail(fmt.Errorf("farm: fuse: %w", err))
 		return
@@ -672,6 +685,11 @@ func (s *Stream) fuseOne(p framePair) {
 	}
 	s.slackTime += slack
 	s.slackEnergy += slackEnergy
+	// The stream owns the fused lease until the next frame displaces it —
+	// the display frame store of the capture→fuse→display chain.
+	if s.snapshot != nil {
+		s.snapshot.Release()
+	}
 	s.snapshot = fused
 	s.mu.Unlock()
 }
@@ -689,7 +707,26 @@ func (s *Stream) fail(err error) {
 func (s *Stream) finish() {
 	s.mu.Lock()
 	s.running = false
+	// Materialize the final snapshot out of the pool: /snapshot.pgm stays
+	// servable after the stream ends, while every lease — workspaces and
+	// display store alike — returns, so a stopped stream holds zero pool
+	// bytes (the leak detector's invariant).
+	if s.snapshot != nil && s.snapshot.Leased() {
+		plain := s.snapshot.Clone()
+		s.snapshot.Release()
+		s.snapshot = plain
+	}
 	s.mu.Unlock()
+	// The fusion engines are confined to this (consumer) goroutine, so
+	// closing the per-operating-point pipelines here is safe.
+	for _, of := range s.ops {
+		of.fuser.Close()
+	}
+	// Hand the retired stream's arena slice back to the farm: parked
+	// planes are freed and the sub-pool detaches from the shared cap, so
+	// stream churn never strands frame stores. Telemetry keeps reading
+	// the drained pool's counters.
+	s.pool.Drain()
 	s.gov.StreamDone(s.cfg.ID)
 	close(s.done)
 }
@@ -714,7 +751,9 @@ func (s *Stream) ID() string { return s.cfg.ID }
 func (s *Stream) Config() StreamConfig { return s.cfg }
 
 // Snapshot returns a copy of the most recent fused frame (nil before the
-// first fusion completes).
+// first fusion completes). The copy is plain and independent, safe to
+// hold for any lifetime; servers that only need the encoded bytes should
+// use AppendSnapshotPGM, which skips the copy.
 func (s *Stream) Snapshot() *frame.Frame {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -722,6 +761,20 @@ func (s *Stream) Snapshot() *frame.Frame {
 		return nil
 	}
 	return s.snapshot.Clone()
+}
+
+// AppendSnapshotPGM appends the latest fused frame's binary PGM encoding
+// to dst under the stream lock, reporting false (and dst unchanged) before
+// the first fusion. Encoding straight off the display frame store avoids
+// both the defensive Snapshot copy and a per-request byte-slice
+// allocation: the caller hands the same buffer back on every request.
+func (s *Stream) AppendSnapshotPGM(dst []byte) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.snapshot == nil {
+		return dst, false
+	}
+	return s.snapshot.AppendPGM(dst), true
 }
 
 // Telemetry snapshots the stream's accumulated record.
@@ -768,6 +821,10 @@ func (s *Stream) Telemetry() StreamTelemetry {
 	}
 	if s.err != nil {
 		t.Err = s.err.Error()
+	}
+	if s.pool != nil {
+		ps := s.pool.Stats()
+		t.Pool = &ps
 	}
 	if s.fused > 0 {
 		t.EnergyPerFrame = s.stages.Energy / sim.Joules(s.fused)

@@ -12,13 +12,39 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync/atomic"
 )
 
 // Frame is a single-channel raster of float32 samples in row-major order.
 // The zero value is an empty frame; use New to allocate.
+//
+// # Ownership
+//
+// A plain frame (from New, FromBytes, Clone, ...) is owned by whoever holds
+// it, like any Go value. A *leased* frame (from NewLeased, or handed out by
+// a bufpool.Pool) is reference counted: Retain adds a holder, Release drops
+// one, and when the count reaches zero the frame returns to its recycler —
+// after which its pixels may be reused for another lease. Reading or
+// writing a frame after its final Release is a use-after-free class bug;
+// releasing it twice panics. Retain/Release are no-ops on plain frames, so
+// code can handle both kinds uniformly.
+//
+// A *view* (from Band) aliases its parent's pixels: mutating either side is
+// visible through the other. Materialize is the escape hatch that breaks
+// the aliasing.
 type Frame struct {
 	W, H int
 	Pix  []float32 // len == W*H, row-major
+
+	lease  *lease // nil for plain frames
+	parent *Frame // non-nil for aliasing views (Band)
+}
+
+// lease is the reference-count record of a pooled frame. It lives with the
+// frame across recycles, so a free-list hit reuses it too.
+type lease struct {
+	refs    atomic.Int32
+	recycle func(*Frame)
 }
 
 // New allocates a zeroed w x h frame.
@@ -27,6 +53,81 @@ func New(w, h int) *Frame {
 		panic(fmt.Sprintf("frame.New: negative size %dx%d", w, h))
 	}
 	return &Frame{W: w, H: h, Pix: make([]float32, w*h)}
+}
+
+// NewLeased allocates a w x h frame owned by a recycler (a buffer pool):
+// the frame starts with one reference, and the final Release hands it to
+// recycle instead of the garbage collector. recycle must not be nil.
+func NewLeased(w, h int, recycle func(*Frame)) *Frame {
+	if recycle == nil {
+		panic("frame.NewLeased: nil recycler")
+	}
+	f := New(w, h)
+	f.lease = &lease{recycle: recycle}
+	f.lease.refs.Store(1)
+	return f
+}
+
+// Leased reports whether the frame is reference counted by a recycler.
+func (f *Frame) Leased() bool { return f.lease != nil }
+
+// Refs reports the current reference count (0 for plain frames).
+func (f *Frame) Refs() int32 {
+	if f.lease == nil {
+		return 0
+	}
+	return f.lease.refs.Load()
+}
+
+// Retain adds a reference to a leased frame and returns f, so a new holder
+// can be registered in one expression. It replaces hot-path Clone calls
+// whose only purpose was to outlive the producer: the paper's frame stores
+// are shared, not copied. Retain on a plain frame is a no-op.
+func (f *Frame) Retain() *Frame {
+	if f.lease != nil {
+		if f.lease.refs.Add(1) <= 1 {
+			panic("frame.Retain: retain of released frame")
+		}
+	}
+	return f
+}
+
+// Release drops one reference. The final Release recycles the frame (its
+// pixels may then be handed to another lease — the frame must not be
+// touched again); releasing an already-released frame panics, catching
+// double-release bugs at the site. Release on a plain frame is a no-op.
+func (f *Frame) Release() {
+	if f.lease == nil {
+		return
+	}
+	switch n := f.lease.refs.Add(-1); {
+	case n == 0:
+		f.lease.recycle(f)
+	case n < 0:
+		panic("frame.Release: release of already-released frame")
+	}
+}
+
+// Rearm restamps a fully released leased frame to w x h with one reference
+// and returns it, reusing its pixel storage. It reports false — leaving
+// the frame untouched — when the storage is too small. Only recyclers
+// (buffer pools) call this, from their free-list hit path; the pixels are
+// NOT cleared, the lease contract being that every sample is written
+// before it is read.
+func (f *Frame) Rearm(w, h int) bool {
+	if f.lease == nil {
+		panic("frame.Rearm: not a leased frame")
+	}
+	if f.lease.refs.Load() != 0 {
+		panic("frame.Rearm: frame still referenced")
+	}
+	if w < 0 || h < 0 || w*h > cap(f.Pix) {
+		return false
+	}
+	f.W, f.H = w, h
+	f.Pix = f.Pix[:w*h]
+	f.lease.refs.Store(1)
+	return true
 }
 
 // FromBytes builds a frame from 8-bit samples (e.g. a camera plane).
@@ -51,11 +152,64 @@ func (f *Frame) Set(x, y int, v float32) { f.Pix[y*f.W+x] = v }
 // Row returns the y-th row as a shared sub-slice.
 func (f *Frame) Row(y int) []float32 { return f.Pix[y*f.W : (y+1)*f.W] }
 
-// Clone returns a deep copy.
+// Clone returns a deep copy. The copy is a plain frame regardless of the
+// source's leasing: cloning is the explicit way to take data out of a
+// pooled buffer's lifetime. On hot paths prefer Retain, which shares the
+// buffer instead of copying it.
 func (f *Frame) Clone() *Frame {
 	g := New(f.W, f.H)
 	copy(g.Pix, f.Pix)
 	return g
+}
+
+// CloneInto copies f's pixels and geometry into dst, reusing dst's storage
+// when it is large enough (dst is reallocated otherwise) and returning
+// dst. It is the reusable-buffer form of Clone.
+func (f *Frame) CloneInto(dst *Frame) *Frame {
+	if dst == nil {
+		return f.Clone()
+	}
+	n := f.W * f.H
+	if cap(dst.Pix) < n {
+		dst.Pix = make([]float32, n)
+	}
+	dst.W, dst.H = f.W, f.H
+	dst.Pix = dst.Pix[:n]
+	copy(dst.Pix, f.Pix)
+	return dst
+}
+
+// Band returns the h full-width rows starting at row y as a zero-copy
+// view: the view's pixels ARE the parent's pixels, exactly like a row
+// partition of one of the board's DDR frame stores. Mutating the view
+// mutates the parent (and vice versa) — use Materialize for an
+// independent copy. If the parent is leased, the view holds a reference
+// on it and the caller must Release the view when done; the view must
+// never be handed to a buffer pool of its own.
+func (f *Frame) Band(y, h int) (*Frame, error) {
+	if y < 0 || h < 0 || y+h > f.H {
+		return nil, fmt.Errorf("frame.Band: rows [%d,%d) outside height %d", y, y+h, f.H)
+	}
+	v := &Frame{W: f.W, H: h, Pix: f.Pix[y*f.W : (y+h)*f.W], parent: f}
+	if f.lease != nil {
+		f.Retain()
+		v.lease = &lease{recycle: func(*Frame) { f.Release() }}
+		v.lease.refs.Store(1)
+	}
+	return v, nil
+}
+
+// IsView reports whether the frame aliases another frame's pixels.
+func (f *Frame) IsView() bool { return f.parent != nil }
+
+// Materialize returns a frame that is safe to mutate without touching any
+// other frame: a view is deep-copied off its parent (the copy-on-write
+// escape hatch for Band), while an ordinary frame is returned as is.
+func (f *Frame) Materialize() *Frame {
+	if f.parent == nil {
+		return f
+	}
+	return f.Clone()
 }
 
 // SameSize reports whether f and g have identical dimensions.
@@ -64,11 +218,22 @@ func (f *Frame) SameSize(g *Frame) bool { return f.W == g.W && f.H == g.H }
 // Bytes quantizes the frame to 8-bit samples, clamping to [0,255] and
 // rounding to nearest.
 func (f *Frame) Bytes() []byte {
-	b := make([]byte, len(f.Pix))
-	for i, v := range f.Pix {
-		b[i] = clampByte(v)
+	return f.AppendBytes(nil)
+}
+
+// AppendBytes appends the frame's 8-bit quantization to dst and returns
+// the extended slice, so an encode buffer can be reused across frames
+// (append semantics: pass dst[:0] to overwrite in place).
+func (f *Frame) AppendBytes(dst []byte) []byte {
+	if need := len(dst) + len(f.Pix); cap(dst) < need {
+		grown := make([]byte, len(dst), need)
+		copy(grown, dst)
+		dst = grown
 	}
-	return b
+	for _, v := range f.Pix {
+		dst = append(dst, clampByte(v))
+	}
+	return dst
 }
 
 func clampByte(v float32) byte {
@@ -84,6 +249,9 @@ func clampByte(v float32) byte {
 // SubFrame extracts the w x h region whose top-left corner is (x, y) as a
 // fresh frame. This mirrors the paper's evaluation protocol, where smaller
 // test frames (64x48 ... 32x24) are extracted from the full 88x72 frames.
+// The result is an independent plain copy: mutating it never touches the
+// source, even when the source is a pooled (leased) frame. For a zero-copy
+// row-band view with the opposite (aliasing) semantics, see Band.
 func (f *Frame) SubFrame(x, y, w, h int) (*Frame, error) {
 	if x < 0 || y < 0 || w < 0 || h < 0 || x+w > f.W || y+h > f.H {
 		return nil, fmt.Errorf("frame.SubFrame: region %dx%d@(%d,%d) outside %dx%d", w, h, x, y, f.W, f.H)
@@ -236,15 +404,28 @@ func PSNR(f, g *Frame) (float64, error) {
 // BT.601 weights, mirroring the paper's grey-scaling of the webcam video
 // before fusion.
 func GrayFromRGB(w, h int, rgb []byte) (*Frame, error) {
-	if len(rgb) != w*h*3 {
+	if w < 0 || h < 0 || len(rgb) != w*h*3 {
 		return nil, fmt.Errorf("frame.GrayFromRGB: have %d bytes, want %d", len(rgb), w*h*3)
 	}
 	f := New(w, h)
-	for i := 0; i < w*h; i++ {
+	if err := GrayFromRGBInto(f, rgb); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// GrayFromRGBInto converts interleaved 8-bit RGB data into dst, the
+// reusable-frame (pooled capture buffer) form of GrayFromRGB. Every sample
+// of dst is written.
+func GrayFromRGBInto(dst *Frame, rgb []byte) error {
+	if len(rgb) != dst.W*dst.H*3 {
+		return fmt.Errorf("frame.GrayFromRGBInto: have %d bytes, want %d", len(rgb), dst.W*dst.H*3)
+	}
+	for i := range dst.Pix {
 		r := float64(rgb[3*i])
 		g := float64(rgb[3*i+1])
 		b := float64(rgb[3*i+2])
-		f.Pix[i] = float32(0.299*r + 0.587*g + 0.114*b)
+		dst.Pix[i] = float32(0.299*r + 0.587*g + 0.114*b)
 	}
-	return f, nil
+	return nil
 }

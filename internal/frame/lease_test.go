@@ -1,0 +1,177 @@
+package frame
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestLeaseRetainReleaseRecycle(t *testing.T) {
+	var recycled *Frame
+	f := NewLeased(4, 3, func(g *Frame) { recycled = g })
+	if !f.Leased() || f.Refs() != 1 {
+		t.Fatalf("fresh lease: leased=%v refs=%d", f.Leased(), f.Refs())
+	}
+	if f.Retain() != f {
+		t.Fatal("Retain must return the frame")
+	}
+	f.Release()
+	if recycled != nil {
+		t.Fatal("recycled while a reference remained")
+	}
+	f.Release()
+	if recycled != f {
+		t.Fatal("final release did not recycle")
+	}
+}
+
+func TestPlainFrameRetainReleaseNoops(t *testing.T) {
+	f := New(4, 4)
+	f.Retain()
+	f.Release()
+	f.Release() // never panics on plain frames
+	if f.Leased() || f.Refs() != 0 {
+		t.Fatal("plain frame must not be leased")
+	}
+}
+
+func TestRearmReusesStorage(t *testing.T) {
+	f := NewLeased(4, 4, func(*Frame) {})
+	pix := &f.Pix[0]
+	f.Release()
+	if !f.Rearm(2, 8) {
+		t.Fatal("rearm within capacity failed")
+	}
+	if f.W != 2 || f.H != 8 || f.Refs() != 1 || &f.Pix[0] != pix {
+		t.Fatalf("rearm result %dx%d refs=%d", f.W, f.H, f.Refs())
+	}
+	f.Release()
+	if f.Rearm(5, 5) {
+		t.Fatal("rearm beyond capacity must refuse")
+	}
+}
+
+// TestSubFrameIsIndependentOfPooledParent pins the ownership contract the
+// refactor surfaced: SubFrame copies, so mutating the extraction can never
+// corrupt a pooled parent that later frames reuse.
+func TestSubFrameIsIndependentOfPooledParent(t *testing.T) {
+	parent := NewLeased(8, 8, func(*Frame) {})
+	parent.Fill(7)
+	sub, err := parent.SubFrame(2, 2, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Leased() || sub.IsView() {
+		t.Fatal("SubFrame must be a plain independent copy")
+	}
+	sub.Fill(99)
+	if parent.At(3, 3) != 7 {
+		t.Fatal("mutating a SubFrame corrupted the parent")
+	}
+}
+
+func TestBandAliasesAndMaterializeEscapes(t *testing.T) {
+	parent := New(6, 5)
+	parent.Fill(1)
+	band, err := parent.Band(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !band.IsView() || band.W != 6 || band.H != 2 {
+		t.Fatalf("band shape %dx%d view=%v", band.W, band.H, band.IsView())
+	}
+	band.Set(0, 0, 42)
+	if parent.At(0, 1) != 42 {
+		t.Fatal("band writes must alias the parent")
+	}
+	// Materialize is the copy-on-write escape hatch.
+	safe := band.Materialize()
+	safe.Fill(9)
+	if parent.At(0, 1) != 42 {
+		t.Fatal("materialized copy still aliases the parent")
+	}
+	if plain := parent.Materialize(); plain != parent {
+		t.Fatal("materializing a non-view must be the identity")
+	}
+	if _, err := parent.Band(4, 3); err == nil {
+		t.Fatal("out-of-range band accepted")
+	}
+}
+
+func TestBandOnLeasedParentHoldsReference(t *testing.T) {
+	recycled := false
+	parent := NewLeased(4, 4, func(*Frame) { recycled = true })
+	band, err := parent.Band(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parent.Release() // view still holds the parent
+	if recycled {
+		t.Fatal("parent recycled while a view was alive")
+	}
+	band.Release()
+	if !recycled {
+		t.Fatal("releasing the view must release the parent")
+	}
+}
+
+func TestCloneOfLeasedFrameIsPlain(t *testing.T) {
+	f := NewLeased(3, 3, func(*Frame) {})
+	f.Fill(5)
+	g := f.Clone()
+	if g.Leased() {
+		t.Fatal("clone must escape the lease")
+	}
+	g.Fill(1)
+	if f.At(0, 0) != 5 {
+		t.Fatal("clone aliases its source")
+	}
+}
+
+func TestCloneIntoReusesStorage(t *testing.T) {
+	src := New(4, 4)
+	src.Fill(3)
+	dst := New(4, 4)
+	pix := &dst.Pix[0]
+	if got := src.CloneInto(dst); got != dst || &dst.Pix[0] != pix {
+		t.Fatal("CloneInto must reuse dst storage")
+	}
+	if dst.At(1, 1) != 3 {
+		t.Fatal("CloneInto copied nothing")
+	}
+	if got := src.CloneInto(nil); got == nil || got.At(0, 0) != 3 {
+		t.Fatal("CloneInto(nil) must clone")
+	}
+	small := New(1, 1)
+	if got := src.CloneInto(small); got.W != 4 || got.H != 4 || got.At(2, 2) != 3 {
+		t.Fatal("CloneInto must grow an undersized dst")
+	}
+}
+
+func TestAppendBytesAndPGMReuseBuffer(t *testing.T) {
+	f := New(3, 2)
+	f.Fill(128)
+	buf := f.AppendBytes(nil)
+	if len(buf) != 6 {
+		t.Fatalf("append length %d", len(buf))
+	}
+	again := f.AppendBytes(buf[:0])
+	if &again[0] != &buf[0] {
+		t.Fatal("AppendBytes did not reuse the buffer")
+	}
+	if !bytes.Equal(again, f.Bytes()) {
+		t.Fatal("AppendBytes and Bytes disagree")
+	}
+
+	pgm := f.AppendPGM(nil)
+	var w bytes.Buffer
+	if err := f.WritePGM(&w); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(pgm, w.Bytes()) {
+		t.Fatal("AppendPGM and WritePGM disagree")
+	}
+	pgm2 := f.AppendPGM(pgm[:0])
+	if &pgm2[0] != &pgm[0] || !bytes.Equal(pgm2, pgm) {
+		t.Fatal("AppendPGM did not reuse the buffer")
+	}
+}

@@ -12,13 +12,19 @@ import (
 // while remaining viewable everywhere.
 func (f *Frame) WritePGM(w io.Writer) error {
 	bw := bufio.NewWriter(w)
-	if _, err := fmt.Fprintf(bw, "P5\n%d %d\n255\n", f.W, f.H); err != nil {
-		return err
-	}
-	if _, err := bw.Write(f.Bytes()); err != nil {
+	if _, err := bw.Write(f.AppendPGM(nil)); err != nil {
 		return err
 	}
 	return bw.Flush()
+}
+
+// AppendPGM appends the complete binary (P5) PGM encoding — header and
+// quantized pixels — to dst and returns the extended slice, so snapshot
+// servers can reuse one encode buffer across requests instead of
+// allocating a fresh byte slice per frame.
+func (f *Frame) AppendPGM(dst []byte) []byte {
+	dst = fmt.Appendf(dst, "P5\n%d %d\n255\n", f.W, f.H)
+	return f.AppendBytes(dst)
 }
 
 // SavePGM writes the frame to the named file.

@@ -32,27 +32,44 @@ var ErrPyramidMismatch = errors.New("fusion: pyramid geometry mismatch")
 // returning a new pyramid that shares the geometry of a. The inputs are not
 // modified.
 func Fuse(rule Rule, a, b *wavelet.DTPyramid) (*wavelet.DTPyramid, error) {
+	out := a.CloneStructure()
+	if err := FuseInto(rule, out, a, b); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// FuseInto combines a and b into dst, a pyramid already shaped for the
+// same geometry (DTCWT.ShapePyramid, or a prior fusion's output). Every
+// fused coefficient — detail bands and lowpass residuals — is written, so
+// dst's prior contents never leak through; this is the zero-copy hot path
+// that replaces the CloneStructure deep copy on every frame. The inputs
+// are not modified, and dst must not alias either of them.
+func FuseInto(rule Rule, dst, a, b *wavelet.DTPyramid) error {
 	if a.W != b.W || a.H != b.H || a.NumLevels() != b.NumLevels() {
-		return nil, fmt.Errorf("%w: %dx%d/%d vs %dx%d/%d", ErrPyramidMismatch,
+		return fmt.Errorf("%w: %dx%d/%d vs %dx%d/%d", ErrPyramidMismatch,
 			a.W, a.H, a.NumLevels(), b.W, b.H, b.NumLevels())
 	}
-	out := a.CloneStructure()
+	if dst.W != a.W || dst.H != a.H || dst.NumLevels() != a.NumLevels() {
+		return fmt.Errorf("%w: destination %dx%d/%d for sources %dx%d/%d", ErrPyramidMismatch,
+			dst.W, dst.H, dst.NumLevels(), a.W, a.H, a.NumLevels())
+	}
 	for lv := range a.Levels {
 		for bi := range a.Levels[lv].Bands {
 			ba, bb := a.Levels[lv].Bands[bi], b.Levels[lv].Bands[bi]
 			if ba.W != bb.W || ba.H != bb.H {
-				return nil, fmt.Errorf("%w: level %d band %d", ErrPyramidMismatch, lv+1, bi)
+				return fmt.Errorf("%w: level %d band %d", ErrPyramidMismatch, lv+1, bi)
 			}
-			rule.FuseBand(out.Levels[lv].Bands[bi], ba, bb)
+			rule.FuseBand(dst.Levels[lv].Bands[bi], ba, bb)
 		}
 	}
 	for c := range a.LLs {
 		if !a.LLs[c].SameSize(b.LLs[c]) {
-			return nil, fmt.Errorf("%w: lowpass residual %d", ErrPyramidMismatch, c)
+			return fmt.Errorf("%w: lowpass residual %d", ErrPyramidMismatch, c)
 		}
-		rule.FuseLL(out.LLs[c], a.LLs[c], b.LLs[c])
+		rule.FuseLL(dst.LLs[c], a.LLs[c], b.LLs[c])
 	}
-	return out, nil
+	return nil
 }
 
 // MaxMagnitude is the classic choose-max fusion rule: for every complex

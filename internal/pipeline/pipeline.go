@@ -8,6 +8,7 @@ import (
 	"errors"
 	"fmt"
 
+	"zynqfusion/internal/bufpool"
 	"zynqfusion/internal/dvfs"
 	"zynqfusion/internal/engine"
 	"zynqfusion/internal/frame"
@@ -29,6 +30,12 @@ type Config struct {
 	// IncludeIO charges the capture and display stages (on for system
 	// simulations, off for transform micro-benchmarks).
 	IncludeIO bool
+	// Pool is the frame-store arena the fuser leases every working plane
+	// from — pyramids, per-level scratch, reconstructions — so the steady-
+	// state hot path allocates nothing, like the board's fixed DDR frame
+	// stores. Nil builds a private unbounded pool; bufpool.Passthrough()
+	// selects the allocating baseline the golden tests compare against.
+	Pool *bufpool.Pool
 }
 
 // DefaultLevels is the decomposition depth a zero Config.Levels selects.
@@ -115,18 +122,31 @@ type laneDrainer interface {
 
 // Fuser runs the fusion pipeline on one engine.
 type Fuser struct {
-	eng engine.Engine
-	dt  *wavelet.DTCWT
-	cfg Config
+	eng  engine.Engine
+	dt   *wavelet.DTCWT
+	cfg  Config
+	pool *bufpool.Pool
+
+	// Hot-path workspaces, reused frame over frame like the board's fixed
+	// transform frame stores: the two source pyramids and the fused one.
+	pa, pb, fused *wavelet.DTPyramid
 }
 
 // New returns a Fuser bound to the engine.
 func New(eng engine.Engine, cfg Config) *Fuser {
 	cfg = cfg.withDefaults()
+	pool := cfg.Pool
+	if pool == nil {
+		pool = bufpool.New(bufpool.Options{})
+	}
 	return &Fuser{
-		eng: eng,
-		dt:  wavelet.NewDTCWT(wavelet.NewXfm(eng), cfg.Banks),
-		cfg: cfg,
+		eng:   eng,
+		dt:    wavelet.NewDTCWTPooled(wavelet.NewXfm(eng), cfg.Banks, pool),
+		cfg:   cfg,
+		pool:  pool,
+		pa:    &wavelet.DTPyramid{},
+		pb:    &wavelet.DTPyramid{},
+		fused: &wavelet.DTPyramid{},
 	}
 }
 
@@ -135,6 +155,19 @@ func (f *Fuser) Engine() engine.Engine { return f.eng }
 
 // Config returns the effective configuration.
 func (f *Fuser) Config() Config { return f.cfg }
+
+// Pool returns the fuser's frame-store arena.
+func (f *Fuser) Pool() *bufpool.Pool { return f.pool }
+
+// Close releases the fuser's workspace pyramids back to the pool. After
+// Close (and after releasing any fused frames still held), the pool's
+// Outstanding count returns to zero — the leak detector's invariant. The
+// fuser remains usable; the workspaces are reshaped on the next frame.
+func (f *Fuser) Close() {
+	f.pa.Release()
+	f.pb.Release()
+	f.fused.Release()
+}
 
 // drain returns the engine time consumed since the last drain.
 func (f *Fuser) drain() sim.Time { return f.eng.Reset() }
@@ -156,7 +189,12 @@ func validatePair(vis, ir *frame.Frame, levels int) error {
 	return nil
 }
 
-// FuseFrames fuses one visible/infrared frame pair.
+// FuseFrames fuses one visible/infrared frame pair. The returned frame is
+// leased from the fuser's pool with the caller as its owner: Release it
+// once done to recycle the plane for a later frame (holding it leaks
+// nothing — the pool only reuses released planes — but forfeits the
+// reuse). All intermediate state lives in workspace pyramids reused frame
+// over frame, so the steady-state call allocates nothing.
 //
 // The stage bodies below are mirrored by the pipelined executor's
 // stageGraph (pipelined.go), which drains the engine per station instead
@@ -180,24 +218,24 @@ func (f *Fuser) FuseFrames(vis, ir *frame.Frame) (*frame.Frame, StageTimes, erro
 		st.Capture = f.drain()
 	}
 
-	pa, err := f.dt.Forward(vis, levels)
-	if err != nil {
+	if _, err := f.dt.ForwardInto(f.pa, vis, levels); err != nil {
 		return nil, st, err
 	}
-	pb, err := f.dt.Forward(ir, levels)
-	if err != nil {
+	if _, err := f.dt.ForwardInto(f.pb, ir, levels); err != nil {
 		return nil, st, err
 	}
 	st.Forward = f.drain()
 
-	fused, err := fusion.Fuse(f.cfg.Rule, pa, pb)
-	if err != nil {
+	if err := f.dt.ShapePyramid(f.fused, vis.W, vis.H, levels); err != nil {
+		return nil, st, err
+	}
+	if err := fusion.FuseInto(f.cfg.Rule, f.fused, f.pa, f.pb); err != nil {
 		return nil, st, err
 	}
 	f.eng.ChargeCPUCycles(px * engine.FusionRuleCyclesPerPixel)
 	st.Fuse = f.drain()
 
-	rec, err := f.dt.Inverse(fused)
+	rec, err := f.dt.Inverse(f.fused)
 	if err != nil {
 		return nil, st, err
 	}

@@ -48,6 +48,9 @@ type Stage struct {
 }
 
 // frameJob carries one frame pair's intermediate state between stations.
+// The pyramids are the owning Fuser's reused workspaces: the executor
+// walks a frame's stations to completion before admitting the next call,
+// so one frame's stores suffice regardless of the modeled depth.
 type frameJob struct {
 	px       float64
 	vis, ir  *frame.Frame
@@ -76,20 +79,22 @@ func stageGraph(includeIO bool) []Stage {
 	st = append(st,
 		Stage{Name: "forward-vis", Wavelet: true, run: func(f *Fuser, c *frameJob) error {
 			var err error
-			c.pa, err = f.dt.Forward(c.vis, f.cfg.Levels)
+			c.pa, err = f.dt.ForwardInto(f.pa, c.vis, f.cfg.Levels)
 			return err
 		}},
 		Stage{Name: "forward-ir", Wavelet: true, run: func(f *Fuser, c *frameJob) error {
 			var err error
-			c.pb, err = f.dt.Forward(c.ir, f.cfg.Levels)
+			c.pb, err = f.dt.ForwardInto(f.pb, c.ir, f.cfg.Levels)
 			return err
 		}},
 		Stage{Name: "fuse", run: func(f *Fuser, c *frameJob) error {
-			var err error
-			c.fusedPyr, err = fusion.Fuse(f.cfg.Rule, c.pa, c.pb)
-			if err != nil {
+			if err := f.dt.ShapePyramid(f.fused, c.vis.W, c.vis.H, f.cfg.Levels); err != nil {
 				return err
 			}
+			if err := fusion.FuseInto(f.cfg.Rule, f.fused, c.pa, c.pb); err != nil {
+				return err
+			}
+			c.fusedPyr = f.fused
 			f.eng.ChargeCPUCycles(c.px * engine.FusionRuleCyclesPerPixel)
 			return nil
 		}},
@@ -190,13 +195,18 @@ type PipelinedFuser struct {
 
 	seq        int64      // frames completed
 	avail      []sim.Time // per-station free times on the pipeline timeline
-	ring       []sim.Time // completion times of the last depth frames
+	ring       []sim.Time // circular frame-completion times, len == depth
 	lastDone   sim.Time   // completion time of the most recent frame
 	fill       sim.Time   // completion time of the first frame
 	latencySum sim.Time
 	order      []string // occupancy bucket order
 	stageBusy  map[string]sim.Time
 	handoffT   sim.Time // per-boundary handoff span (depth >= 2)
+
+	// Per-call scratch reused frame over frame, keeping the steady-state
+	// hot path allocation-free.
+	job  frameJob
+	durs []sim.Time
 }
 
 // NewPipelined wraps a Fuser in the inter-frame pipelined executor with
@@ -224,6 +234,8 @@ func NewPipelined(f *Fuser, depth int) (*PipelinedFuser, error) {
 	}
 	p.stages = stageGraph(f.cfg.IncludeIO)
 	p.avail = make([]sim.Time, len(p.stages))
+	p.ring = make([]sim.Time, depth)
+	p.durs = make([]sim.Time, len(p.stages))
 	for _, s := range p.stages {
 		p.order = append(p.order, s.Name)
 	}
@@ -245,6 +257,9 @@ func (p *PipelinedFuser) Frames() int64 { return p.seq }
 
 // Fuser returns the wrapped sequential fuser.
 func (p *PipelinedFuser) Fuser() *Fuser { return p.f }
+
+// Close releases the wrapped fuser's workspace planes back to the pool.
+func (p *PipelinedFuser) Close() { p.f.Close() }
 
 // Stages returns the stage graph the executor overlaps (nil for the
 // depth-1 degenerate path, which has no stations of its own).
@@ -270,9 +285,10 @@ func (p *PipelinedFuser) FuseFrames(vis, ir *frame.Frame) (*frame.Frame, StageTi
 	}
 	p.discardPending()
 
-	job := &frameJob{px: float64(vis.W * vis.H), vis: vis, ir: ir}
+	p.job = frameJob{px: float64(vis.W * vis.H), vis: vis, ir: ir}
+	job := &p.job
 	var st StageTimes
-	durs := make([]sim.Time, len(p.stages))
+	durs := p.durs
 	var activeE sim.Joules
 	for i, stage := range p.stages {
 		d, e, err := p.runStage(stage, job, i == len(p.stages)-1)
@@ -358,9 +374,12 @@ func (p *PipelinedFuser) chargeStage(st *StageTimes, name string, d sim.Time) {
 // period, Latency its span, and the energy rebates the quiescent draw
 // over the span this frame overlapped its neighbours.
 func (p *PipelinedFuser) advance(st *StageTimes, durs []sim.Time, activeE sim.Joules) {
+	// The ring is circular over the last depth completions: slot seq%depth
+	// holds frame seq-depth's completion — exactly the admission gate.
+	slot := int(p.seq % int64(p.depth))
 	var admit sim.Time
-	if len(p.ring) >= p.depth {
-		admit = p.ring[len(p.ring)-p.depth]
+	if p.seq >= int64(p.depth) {
+		admit = p.ring[slot]
 	}
 	start := admit
 	if p.avail[0] > start {
@@ -376,10 +395,7 @@ func (p *PipelinedFuser) advance(st *StageTimes, durs []sim.Time, activeE sim.Jo
 		p.avail[i] = t
 		busy += d
 	}
-	p.ring = append(p.ring, t)
-	if len(p.ring) > p.depth {
-		p.ring = p.ring[len(p.ring)-p.depth:]
-	}
+	p.ring[slot] = t
 	period := t - p.lastDone
 	p.lastDone = t
 	if p.seq == 0 {

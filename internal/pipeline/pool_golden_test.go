@@ -1,0 +1,125 @@
+package pipeline
+
+import (
+	"fmt"
+	"testing"
+
+	"zynqfusion/internal/bufpool"
+	"zynqfusion/internal/camera"
+	"zynqfusion/internal/dvfs"
+	"zynqfusion/internal/engine"
+	"zynqfusion/internal/sched"
+	"zynqfusion/internal/split"
+)
+
+// poolGoldenEngines builds fresh engine pairs for the pooled-vs-allocating
+// parity matrix: the paper's two exclusive accelerated modes plus the
+// cooperative split schedule, which exercises the FPGA driver boundary and
+// the NEON lane in the same frame.
+func poolGoldenEngines() map[string]func() engine.Engine {
+	return map[string]func() engine.Engine{
+		"neon": func() engine.Engine { return engine.NewNEON(false) },
+		"fpga": func() engine.Engine { return engine.NewFPGA() },
+		"split-oracle": func() engine.Engine {
+			return sched.NewAdaptive(sched.SplitDriven{S: split.NewOracle(dvfs.Nominal())})
+		},
+	}
+}
+
+// TestGoldenPooledMatchesAllocating pins the zero-copy refactor: a fuser
+// leasing every plane from the pool must produce bit-for-bit the pixels —
+// and exactly the modeled times and joules — of the allocating baseline,
+// across engines, pipeline depths 1/2/4 and a moving scene. Any stale
+// pixel leaking out of a reused (uncleared) plane fails here.
+func TestGoldenPooledMatchesAllocating(t *testing.T) {
+	const frames = 5
+	for name, mk := range poolGoldenEngines() {
+		for _, depth := range []int{1, 2, 4} {
+			t.Run(fmt.Sprintf("%s/depth%d", name, depth), func(t *testing.T) {
+				pooledPool := bufpool.New(bufpool.Options{})
+				pooled, err := NewPipelined(New(mk(), Config{IncludeIO: true, Pool: pooledPool}), depth)
+				if err != nil {
+					t.Fatal(err)
+				}
+				alloc, err := NewPipelined(New(mk(), Config{IncludeIO: true, Pool: bufpool.Passthrough()}), depth)
+				if err != nil {
+					t.Fatal(err)
+				}
+				scene := camera.NewScene(88, 72, 11)
+				for i := 0; i < frames; i++ {
+					scene.Advance()
+					vis, ir := scene.Visible(), scene.Thermal()
+					gotF, gotSt, err := pooled.FuseFrames(vis, ir)
+					if err != nil {
+						t.Fatal(err)
+					}
+					wantF, wantSt, err := alloc.FuseFrames(vis, ir)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if gotF.W != wantF.W || gotF.H != wantF.H {
+						t.Fatalf("frame %d: geometry %dx%d vs %dx%d", i, gotF.W, gotF.H, wantF.W, wantF.H)
+					}
+					for j := range gotF.Pix {
+						if gotF.Pix[j] != wantF.Pix[j] {
+							t.Fatalf("frame %d: pixel %d differs: pooled %v allocating %v",
+								i, j, gotF.Pix[j], wantF.Pix[j])
+						}
+					}
+					if gotSt != wantSt {
+						t.Fatalf("frame %d: stage times diverged:\npooled     %+v\nallocating %+v", i, gotSt, wantSt)
+					}
+					gotF.Release()
+				}
+				// The pooled run's working set must be fixed and fully
+				// recycled: no leases outstanding once the executor closes.
+				pooled.Close()
+				if err := pooledPool.CheckLeaks(); err != nil {
+					t.Fatal(err)
+				}
+				if st := pooledPool.Stats(); st.Hits == 0 {
+					t.Fatalf("pool never hit: %+v", st)
+				}
+			})
+		}
+	}
+}
+
+// TestGoldenPooledSequentialFuser runs the same parity check through the
+// plain sequential Fuser (no pipelined wrapper), the configuration every
+// pre-refactor caller uses.
+func TestGoldenPooledSequentialFuser(t *testing.T) {
+	for name, mk := range poolGoldenEngines() {
+		t.Run(name, func(t *testing.T) {
+			pool := bufpool.New(bufpool.Options{})
+			pooled := New(mk(), Config{IncludeIO: true, Pool: pool})
+			alloc := New(mk(), Config{IncludeIO: true, Pool: bufpool.Passthrough()})
+			scene := camera.NewScene(64, 48, 23)
+			for i := 0; i < 4; i++ {
+				scene.Advance()
+				vis, ir := scene.Visible(), scene.Thermal()
+				gotF, gotSt, err := pooled.FuseFrames(vis, ir)
+				if err != nil {
+					t.Fatal(err)
+				}
+				wantF, wantSt, err := alloc.FuseFrames(vis, ir)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for j := range gotF.Pix {
+					if gotF.Pix[j] != wantF.Pix[j] {
+						t.Fatalf("frame %d pixel %d: pooled %v allocating %v", i, j, gotF.Pix[j], wantF.Pix[j])
+					}
+				}
+				if gotSt != wantSt {
+					t.Fatalf("frame %d stage times diverged", i)
+				}
+				gotF.Release()
+			}
+			pooled.Close()
+			if err := pool.CheckLeaks(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 
+	"zynqfusion/internal/bufpool"
 	"zynqfusion/internal/frame"
 )
 
@@ -42,15 +43,43 @@ const (
 // Orientations lists the band order used in DTLevel.Bands.
 var Orientations = [6]Orientation{Orient15, Orient45, Orient75, OrientM75, OrientM45, OrientM15}
 
-// ComplexBand is one oriented complex subband.
+// ComplexBand is one oriented complex subband. A band built by the pooled
+// transform path is backed by two leased planes; release returns them.
 type ComplexBand struct {
 	W, H   int
 	Re, Im []float32
+
+	re, im *frame.Frame // backing leases; nil for plainly allocated bands
 }
 
 // NewComplexBand allocates a zeroed w x h complex band.
 func NewComplexBand(w, h int) *ComplexBand {
 	return &ComplexBand{W: w, H: h, Re: make([]float32, w*h), Im: make([]float32, w*h)}
+}
+
+// newComplexBandPooled leases the band's two planes from pool.
+func newComplexBandPooled(w, h int, pool *bufpool.Pool) (*ComplexBand, error) {
+	re, err := pool.Get(w, h)
+	if err != nil {
+		return nil, err
+	}
+	im, err := pool.Get(w, h)
+	if err != nil {
+		re.Release()
+		return nil, err
+	}
+	return &ComplexBand{W: w, H: h, Re: re.Pix, Im: im.Pix, re: re, im: im}, nil
+}
+
+// release returns a pooled band's planes (no-op for plain bands).
+func (b *ComplexBand) release() {
+	if b == nil || b.re == nil {
+		return
+	}
+	b.re.Release()
+	b.im.Release()
+	b.re, b.im = nil, nil
+	b.Re, b.Im = nil, nil
 }
 
 // Mag returns |z| at index i.
@@ -85,7 +114,8 @@ type DTLevel struct {
 
 // DTPyramid is a full DT-CWT decomposition: oriented complex detail bands
 // per level plus the four real lowpass residuals (one per tree
-// combination).
+// combination). Pyramids built by the pooled transform path own leased
+// planes; Release returns them all.
 type DTPyramid struct {
 	W, H   int // original frame size
 	Levels []DTLevel
@@ -96,9 +126,45 @@ type DTPyramid struct {
 // NumLevels reports the decomposition depth.
 func (p *DTPyramid) NumLevels() int { return len(p.Levels) }
 
+// Release returns every plane of the pyramid to its pool (a no-op for
+// plainly allocated pyramids). The pyramid keeps its structure and must be
+// reshaped before reuse; p.LLs alias the per-tree residuals, which are
+// released exactly once.
+func (p *DTPyramid) Release() {
+	for lv := range p.Levels {
+		for bi := range p.Levels[lv].Bands {
+			p.Levels[lv].Bands[bi].release()
+			p.Levels[lv].Bands[bi] = nil
+		}
+	}
+	for c := range p.trees {
+		if p.trees[c] != nil {
+			p.trees[c].release()
+		}
+		p.LLs[c] = nil // aliases trees[c].LL, already released
+	}
+	p.W, p.H = 0, 0
+	p.Levels = p.Levels[:0]
+}
+
+// shaped reports whether the pyramid is already structured for a w x h
+// input at the given depth.
+func (p *DTPyramid) shaped(w, h, levels int) bool {
+	if p.W != w || p.H != h || len(p.Levels) != levels {
+		return false
+	}
+	for c := 0; c < numTrees; c++ {
+		if p.trees[c] == nil || p.trees[c].LL == nil || len(p.trees[c].Levels) != levels {
+			return false
+		}
+	}
+	return p.Levels[0].Bands[0] != nil
+}
+
 // CloneStructure deep-copies the pyramid (bands, residuals and the
-// per-tree bookkeeping needed for inversion). Fusion rules write into a
-// clone so the source pyramids stay usable.
+// per-tree bookkeeping needed for inversion) into plain storage. Fusion
+// rules write into a clone so the source pyramids stay usable; the pooled
+// hot path avoids the copy entirely with FuseInto over a shaped workspace.
 func (p *DTPyramid) CloneStructure() *DTPyramid {
 	n := &DTPyramid{W: p.W, H: p.H, Levels: make([]DTLevel, len(p.Levels))}
 	for lv := range p.Levels {
@@ -173,30 +239,134 @@ func (tb TreeBanks) banksFor(tree byte, levels int) []*Bank {
 type DTCWT struct {
 	X     *Xfm
 	Banks TreeBanks
+
+	pool *bufpool.Pool // nil → the allocating fallback
+
+	// Cached per-tree bank expansions, rebuilt only when the depth
+	// changes, so the steady-state transform allocates nothing.
+	bankLevels int
+	banksA     []*Bank
+	banksB     []*Bank
 }
 
-// NewDTCWT returns a transform bound to the kernel inside x.
+// NewDTCWT returns a transform bound to the kernel inside x, with plainly
+// allocated (non-pooled) planes.
 func NewDTCWT(x *Xfm, banks TreeBanks) *DTCWT {
 	return &DTCWT{X: x, Banks: banks}
 }
 
-// Forward computes the DT-CWT of img over the given number of levels.
+// NewDTCWTPooled returns a transform whose working planes — pyramids,
+// per-level scratch, reconstructions — are leased from pool.
+func NewDTCWTPooled(x *Xfm, banks TreeBanks, pool *bufpool.Pool) *DTCWT {
+	return &DTCWT{X: x, Banks: banks, pool: pool}
+}
+
+// Pool returns the transform's plane pool (nil for the allocating path).
+func (t *DTCWT) Pool() *bufpool.Pool { return t.pool }
+
+func (t *DTCWT) poolOr() *bufpool.Pool {
+	if t.pool != nil {
+		return t.pool
+	}
+	return noPool
+}
+
+// treeBanks returns the cached per-level bank slices for a tree.
+func (t *DTCWT) treeBanks(tree byte, levels int) []*Bank {
+	if t.bankLevels != levels {
+		t.banksA = t.Banks.banksFor('a', levels)
+		t.banksB = t.Banks.banksFor('b', levels)
+		t.bankLevels = levels
+	}
+	if tree == 'a' {
+		return t.banksA
+	}
+	return t.banksB
+}
+
+// ShapePyramid (re)shapes p for a w x h input at the given depth, leasing
+// planes from the transform's pool: an already-matching pyramid is
+// returned untouched, so a per-frame workspace costs nothing in steady
+// state. The shaped pyramid carries the full inversion bookkeeping (banks
+// and crop sizes), making it a valid fusion destination for FuseInto even
+// before any forward transform has run through it.
+func (t *DTCWT) ShapePyramid(p *DTPyramid, w, h, levels int) error {
+	if levels < 1 || levels > MaxLevels(w, h) {
+		return fmt.Errorf("%w: levels=%d for %dx%d", ErrBadLevels, levels, w, h)
+	}
+	if p.shaped(w, h, levels) {
+		// Plane shapes are reusable as-is; refresh the bank bookkeeping in
+		// case the pyramid last ran under a transform with different banks.
+		for c := 0; c < numTrees; c++ {
+			rowTree, colTree := comboTrees(c)
+			p.trees[c].RowBanks = t.treeBanks(rowTree, levels)
+			p.trees[c].ColBanks = t.treeBanks(colTree, levels)
+		}
+		return nil
+	}
+	p.Release()
+	pool := t.poolOr()
+	p.W, p.H = w, h
+	if cap(p.Levels) >= levels {
+		p.Levels = p.Levels[:levels]
+	} else {
+		p.Levels = make([]DTLevel, levels)
+	}
+	for c := 0; c < numTrees; c++ {
+		rowTree, colTree := comboTrees(c)
+		if p.trees[c] == nil {
+			p.trees[c] = &Decomp{}
+		}
+		if err := shapeDecomp(p.trees[c], t.treeBanks(rowTree, levels), t.treeBanks(colTree, levels), w, h, levels, pool); err != nil {
+			p.Release()
+			return err
+		}
+		p.LLs[c] = p.trees[c].LL
+	}
+	cw, ch := w, h
+	for lv := 0; lv < levels; lv++ {
+		_, _, mw, mh := levelGeom(cw, ch)
+		for bi := range p.Levels[lv].Bands {
+			b, err := newComplexBandPooled(mw, mh, pool)
+			if err != nil {
+				p.Release()
+				return err
+			}
+			p.Levels[lv].Bands[bi] = b
+		}
+		cw, ch = mw, mh
+	}
+	return nil
+}
+
+// Forward computes the DT-CWT of img over the given number of levels into
+// a fresh pyramid. The pooled hot path is ForwardInto, which reuses a
+// workspace pyramid frame over frame; Forward itself always builds anew,
+// so callers that hold pyramids across calls (round-trip tests, the
+// forward-only benchmarks) stay safe.
 func (t *DTCWT) Forward(img *frame.Frame, levels int) (*DTPyramid, error) {
+	return t.ForwardInto(&DTPyramid{}, img, levels)
+}
+
+// ForwardInto computes the DT-CWT of img into p, reusing p's planes when
+// it is already shaped for this geometry (and reshaping it from the pool
+// otherwise). Every coefficient of every plane is overwritten, so a reused
+// workspace is bit-for-bit a fresh transform. It returns p.
+func (t *DTCWT) ForwardInto(p *DTPyramid, img *frame.Frame, levels int) (*DTPyramid, error) {
 	if levels < 1 || levels > MaxLevels(img.W, img.H) {
 		return nil, fmt.Errorf("%w: levels=%d for %dx%d", ErrBadLevels, levels, img.W, img.H)
 	}
-	p := &DTPyramid{W: img.W, H: img.H, Levels: make([]DTLevel, levels)}
+	if err := t.ShapePyramid(p, img.W, img.H, levels); err != nil {
+		return nil, err
+	}
+	pool := t.poolOr()
 	for c := 0; c < numTrees; c++ {
-		rowTree, colTree := comboTrees(c)
-		d, err := Forward2D(t.X, t.Banks.banksFor(rowTree, levels), t.Banks.banksFor(colTree, levels), img, levels)
-		if err != nil {
+		if err := forward2DInto(t.X, p.trees[c], img, levels, pool); err != nil {
 			return nil, err
 		}
-		p.trees[c] = d
-		p.LLs[c] = d.LL
 	}
 	for lv := 0; lv < levels; lv++ {
-		p.Levels[lv] = combineLevel(t.X, p.trees, lv)
+		combineLevelInto(t.X, p.trees, lv, &p.Levels[lv])
 	}
 	return p, nil
 }
@@ -204,19 +374,24 @@ func (t *DTCWT) Forward(img *frame.Frame, levels int) (*DTPyramid, error) {
 // Inverse reconstructs the frame from the pyramid. The complex bands are
 // redistributed to the four trees (the exact inverse of the forward
 // combination), each tree is inverted, and the four reconstructions are
-// averaged.
+// averaged. On the pooled path the returned frame is leased from the
+// transform's pool and owned by the caller (Release it to recycle).
 func (t *DTCWT) Inverse(p *DTPyramid) (*frame.Frame, error) {
 	if p.NumLevels() == 0 {
 		return nil, errors.New("wavelet.DTCWT: empty pyramid")
 	}
+	pool := t.poolOr()
 	for lv := range p.Levels {
 		distributeLevel(t.X, p.trees, p.Levels[lv], lv)
 	}
 	var acc *frame.Frame
 	for c := 0; c < numTrees; c++ {
 		p.trees[c].LL = p.LLs[c]
-		rec, err := Inverse2D(t.X, p.trees[c])
+		rec, err := inverse2DPooled(t.X, p.trees[c], pool)
 		if err != nil {
+			if acc != nil {
+				acc.Release()
+			}
 			return nil, err
 		}
 		if acc == nil {
@@ -224,11 +399,14 @@ func (t *DTCWT) Inverse(p *DTPyramid) (*frame.Frame, error) {
 			continue
 		}
 		if !acc.SameSize(rec) {
+			acc.Release()
+			rec.Release()
 			return nil, errors.New("wavelet.DTCWT: tree reconstruction size mismatch")
 		}
 		for i := range acc.Pix {
 			acc.Pix[i] += rec.Pix[i]
 		}
+		rec.Release()
 	}
 	for i := range acc.Pix {
 		acc.Pix[i] *= 1.0 / numTrees
@@ -253,22 +431,22 @@ func comboTrees(c int) (rowTree, colTree byte) {
 // invSqrt2 scales the unitary four-real-to-two-complex combination.
 const invSqrt2 = 0.7071067811865476
 
-// combineLevel applies the q2c map to each detail band of one level:
+// combineLevelInto applies the q2c map to each detail band of one level,
+// writing into the pre-shaped bands of out:
 //
 //	z1 = ((p - q) + i(r + s)) / sqrt2
 //	z2 = ((p + q) + i(s - r)) / sqrt2
 //
 // with p = AA, q = BB, r = AB, s = BA. The map is unitary, so
 // |z1|^2 + |z2|^2 = p^2 + q^2 + r^2 + s^2 and it is exactly invertible.
-func combineLevel(x *Xfm, trees [numTrees]*Decomp, lv int) DTLevel {
-	var out DTLevel
+func combineLevelInto(x *Xfm, trees [numTrees]*Decomp, lv int, out *DTLevel) {
 	for bi := 0; bi < 3; bi++ {
 		p := bandOf(trees[TreeAA], lv, bi)
 		q := bandOf(trees[TreeBB], lv, bi)
 		r := bandOf(trees[TreeAB], lv, bi)
 		s := bandOf(trees[TreeBA], lv, bi)
-		z1 := NewComplexBand(p.W, p.H)
-		z2 := NewComplexBand(p.W, p.H)
+		z1 := out.Bands[bi]
+		z2 := out.Bands[5-bi]
 		for i := range p.Pix {
 			pp, qq, rr, ss := p.Pix[i], q.Pix[i], r.Pix[i], s.Pix[i]
 			z1.Re[i] = (pp - qq) * invSqrt2
@@ -277,14 +455,12 @@ func combineLevel(x *Xfm, trees [numTrees]*Decomp, lv int) DTLevel {
 			z2.Im[i] = (ss - rr) * invSqrt2
 		}
 		x.chargeCPU(4 * len(p.Pix))
-		out.Bands[bi] = z1
-		out.Bands[5-bi] = z2
 	}
-	return out
 }
 
-// distributeLevel applies c2q, the exact inverse of combineLevel, writing
-// the (possibly fused) complex coefficients back into the four trees.
+// distributeLevel applies c2q, the exact inverse of combineLevelInto,
+// writing the (possibly fused) complex coefficients back into the four
+// trees.
 func distributeLevel(x *Xfm, trees [numTrees]*Decomp, l DTLevel, lv int) {
 	for bi := 0; bi < 3; bi++ {
 		z1 := l.Bands[bi]

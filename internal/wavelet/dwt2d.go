@@ -4,14 +4,30 @@ import (
 	"errors"
 	"fmt"
 
+	"zynqfusion/internal/bufpool"
 	"zynqfusion/internal/frame"
 )
+
+// noPool is the allocating fallback used by the classic entry points
+// (Forward2D, Inverse2D): every plane is a fresh plain frame, exactly the
+// pre-pool behavior.
+var noPool = bufpool.Passthrough()
 
 // Bands holds the detail subbands of one decomposition level. Following
 // the paper's naming, the first letter is the horizontal frequency and the
 // second the vertical one: HL is high-horizontal/low-vertical detail.
 type Bands struct {
 	HL, LH, HH *frame.Frame
+}
+
+// release returns the band planes to their pool (a no-op for plain ones).
+func (b *Bands) release() {
+	for _, f := range []*frame.Frame{b.HL, b.LH, b.HH} {
+		if f != nil {
+			f.Release()
+		}
+	}
+	b.HL, b.LH, b.HH = nil, nil, nil
 }
 
 // Decomp is a multi-level separable 2-D wavelet decomposition of a frame.
@@ -22,6 +38,17 @@ type Decomp struct {
 	Levels   []Bands
 	LL       *frame.Frame
 	sizes    []wh // unpadded input size at each level, for inverse cropping
+}
+
+// release returns every plane of the decomposition to its pool.
+func (d *Decomp) release() {
+	for i := range d.Levels {
+		d.Levels[i].release()
+	}
+	if d.LL != nil {
+		d.LL.Release()
+		d.LL = nil
+	}
 }
 
 type wh struct{ w, h int }
@@ -44,11 +71,69 @@ func MaxLevels(w, h int) int {
 	}
 }
 
+// levelGeom reports the padded input and subband geometry of level lv+1
+// given the unpadded input geometry of that level.
+func levelGeom(w, h int) (pw, ph, mw, mh int) {
+	pw, ph = w+w%2, h+h%2
+	return pw, ph, pw / 2, ph / 2
+}
+
+// shapeDecomp (re)shapes d for a w x h input at the given depth, drawing
+// planes from pool: a decomposition already shaped for that geometry is
+// reused untouched (the steady-state fast path), anything else is released
+// and rebuilt. The plane shapes — and the per-level sizes the inverse
+// crops back to — depend only on (w, h, levels), so a reused decomposition
+// is structurally identical to a fresh one.
+func shapeDecomp(d *Decomp, rowBanks, colBanks []*Bank, w, h, levels int, pool *bufpool.Pool) error {
+	d.RowBanks, d.ColBanks = rowBanks[:levels], colBanks[:levels]
+	if len(d.Levels) == levels && len(d.sizes) == levels && d.LL != nil {
+		if d.sizes[0].w == w && d.sizes[0].h == h {
+			return nil // already shaped for this geometry
+		}
+	}
+	d.release()
+	if cap(d.Levels) >= levels {
+		d.Levels = d.Levels[:levels]
+	} else {
+		d.Levels = make([]Bands, levels)
+	}
+	if cap(d.sizes) >= levels {
+		d.sizes = d.sizes[:levels]
+	} else {
+		d.sizes = make([]wh, levels)
+	}
+	cw, ch := w, h
+	for lv := 0; lv < levels; lv++ {
+		d.sizes[lv] = wh{cw, ch}
+		_, _, mw, mh := levelGeom(cw, ch)
+		var err error
+		if d.Levels[lv].HL, err = pool.Get(mw, mh); err == nil {
+			if d.Levels[lv].LH, err = pool.Get(mw, mh); err == nil {
+				d.Levels[lv].HH, err = pool.Get(mw, mh)
+			}
+		}
+		if err != nil {
+			d.release()
+			return err
+		}
+		cw, ch = mw, mh
+	}
+	ll, err := pool.Get(cw, ch)
+	if err != nil {
+		d.release()
+		return err
+	}
+	d.LL = ll
+	return nil
+}
+
 // Forward2D decomposes img over the given number of levels. rowBanks and
 // colBanks supply the per-level filter banks (index 0 = level 1); both must
 // have at least `levels` entries. Odd dimensions are handled by edge
 // replication to the next even size, and the original size is recorded so
-// Inverse2D reconstructs the exact input dimensions.
+// Inverse2D reconstructs the exact input dimensions. Every plane of the
+// result is freshly allocated; the pooled transform path goes through
+// DTCWT.ForwardInto.
 func Forward2D(x *Xfm, rowBanks, colBanks []*Bank, img *frame.Frame, levels int) (*Decomp, error) {
 	if levels < 1 || levels > MaxLevels(img.W, img.H) {
 		return nil, fmt.Errorf("%w: levels=%d for %dx%d (max %d)", ErrBadLevels, levels, img.W, img.H, MaxLevels(img.W, img.H))
@@ -56,43 +141,87 @@ func Forward2D(x *Xfm, rowBanks, colBanks []*Bank, img *frame.Frame, levels int)
 	if len(rowBanks) < levels || len(colBanks) < levels {
 		return nil, fmt.Errorf("wavelet.Forward2D: need %d banks per dimension, have %d/%d", levels, len(rowBanks), len(colBanks))
 	}
-	d := &Decomp{
-		RowBanks: rowBanks[:levels],
-		ColBanks: colBanks[:levels],
-		Levels:   make([]Bands, levels),
-		sizes:    make([]wh, levels),
+	d := &Decomp{}
+	if err := shapeDecomp(d, rowBanks, colBanks, img.W, img.H, levels, noPool); err != nil {
+		return nil, err
 	}
-	cur := img
-	for lv := 0; lv < levels; lv++ {
-		d.sizes[lv] = wh{cur.W, cur.H}
-		ll, bands := forwardLevel(x, rowBanks[lv], colBanks[lv], cur)
-		d.Levels[lv] = bands
-		cur = ll
+	if err := forward2DInto(x, d, img, levels, noPool); err != nil {
+		return nil, err
 	}
-	d.LL = cur
 	return d, nil
 }
 
-// forwardLevel performs one separable analysis level, returning the LL
-// subband and the three detail subbands.
-func forwardLevel(x *Xfm, rowBank, colBank *Bank, img *frame.Frame) (*frame.Frame, Bands) {
-	p := padEven(x, img)
+// forward2DInto runs the analysis cascade into a pre-shaped decomposition.
+// Intermediate lowpass planes (each level's input to the next) are scratch
+// leased from pool for the duration of the cascade, like the board's
+// transform frame stores; the final one lands in d.LL.
+func forward2DInto(x *Xfm, d *Decomp, img *frame.Frame, levels int, pool *bufpool.Pool) error {
+	cur := img
+	var curOwned *frame.Frame // pooled intermediate lowpass awaiting release
+	release := func() {
+		if curOwned != nil {
+			curOwned.Release()
+			curOwned = nil
+		}
+	}
+	for lv := 0; lv < levels; lv++ {
+		d.sizes[lv] = wh{cur.W, cur.H}
+		_, _, mw, mh := levelGeom(cur.W, cur.H)
+		ll := d.LL
+		if lv < levels-1 {
+			var err error
+			if ll, err = pool.Get(mw, mh); err != nil {
+				release()
+				return err
+			}
+		}
+		if err := forwardLevelInto(x, d.RowBanks[lv], d.ColBanks[lv], cur, ll, d.Levels[lv], pool); err != nil {
+			if lv < levels-1 {
+				ll.Release()
+			}
+			release()
+			return err
+		}
+		release()
+		if lv < levels-1 {
+			curOwned = ll
+		}
+		cur = ll
+	}
+	return nil
+}
+
+// forwardLevelInto performs one separable analysis level, writing the LL
+// subband into ll and the three detail subbands into b (all pre-shaped).
+// Every sample of every output plane is written, so reused (uncleared)
+// pooled planes give bit-identical results to fresh zeroed ones.
+func forwardLevelInto(x *Xfm, rowBank, colBank *Bank, img, ll *frame.Frame, b Bands, pool *bufpool.Pool) error {
+	p, padOwned, err := padEvenPooled(x, img, pool)
+	if err != nil {
+		return err
+	}
 	w, h := p.W, p.H
 	mw, mh := w/2, h/2
 
 	// Horizontal pass: each row splits into lo (left half) and hi (right).
-	rowOut := frame.New(w, h)
+	rowOut, err := pool.Get(w, h)
+	if err != nil {
+		if padOwned != nil {
+			padOwned.Release()
+		}
+		return err
+	}
 	for y := 0; y < h; y++ {
 		row := p.Row(y)
 		out := rowOut.Row(y)
 		x.Analyze1D(rowBank, row, out[:mw], out[mw:])
 	}
+	if padOwned != nil {
+		padOwned.Release()
+	}
 
 	// Vertical pass on each column of both halves.
-	ll := frame.New(mw, mh)
-	hl := frame.New(mw, mh)
-	lh := frame.New(mw, mh)
-	hh := frame.New(mw, mh)
+	hl, lh, hh := b.HL, b.LH, b.HH
 	col := growCol(x, h)
 	for cx := 0; cx < w; cx++ {
 		for y := 0; y < h; y++ {
@@ -114,34 +243,62 @@ func forwardLevel(x *Xfm, rowBank, colBank *Bank, img *frame.Frame) (*frame.Fram
 		}
 		x.chargeCPU(h)
 	}
-	return ll, Bands{HL: hl, LH: lh, HH: hh}
+	rowOut.Release()
+	return nil
 }
 
-// Inverse2D reconstructs the frame from a decomposition.
+// Inverse2D reconstructs the frame from a decomposition. The result is a
+// fresh plain frame; the pooled path goes through DTCWT.Inverse.
 func Inverse2D(x *Xfm, d *Decomp) (*frame.Frame, error) {
+	return inverse2DPooled(x, d, noPool)
+}
+
+// inverse2DPooled reconstructs the frame, leasing every working plane —
+// including the returned reconstruction, which the caller owns — from
+// pool.
+func inverse2DPooled(x *Xfm, d *Decomp, pool *bufpool.Pool) (*frame.Frame, error) {
 	if len(d.Levels) == 0 || d.LL == nil {
 		return nil, errors.New("wavelet.Inverse2D: empty decomposition")
 	}
 	cur := d.LL
+	var curOwned *frame.Frame // pooled intermediate reconstruction
 	for lv := len(d.Levels) - 1; lv >= 0; lv-- {
 		b := d.Levels[lv]
 		if !cur.SameSize(b.HL) || !cur.SameSize(b.LH) || !cur.SameSize(b.HH) {
+			if curOwned != nil {
+				curOwned.Release()
+			}
 			return nil, fmt.Errorf("wavelet.Inverse2D: level %d subband size mismatch", lv+1)
 		}
-		cur = inverseLevel(x, d.RowBanks[lv], d.ColBanks[lv], cur, b, d.sizes[lv])
+		next, err := inverseLevelPooled(x, d.RowBanks[lv], d.ColBanks[lv], cur, b, d.sizes[lv], pool)
+		if curOwned != nil {
+			curOwned.Release()
+		}
+		if err != nil {
+			return nil, err
+		}
+		curOwned = next
+		cur = next
 	}
 	return cur, nil
 }
 
-// inverseLevel undoes one analysis level and crops to the recorded size.
-func inverseLevel(x *Xfm, rowBank, colBank *Bank, ll *frame.Frame, b Bands, orig wh) *frame.Frame {
+// inverseLevelPooled undoes one analysis level and crops to the recorded
+// size. The horizontal synthesis runs in place over the vertical pass's
+// plane — the board's wave engine reads and writes the same frame store —
+// so the level needs one working plane, not two; the modeled memcpy
+// charges are unchanged.
+func inverseLevelPooled(x *Xfm, rowBank, colBank *Bank, ll *frame.Frame, b Bands, orig wh, pool *bufpool.Pool) (*frame.Frame, error) {
 	mw, mh := ll.W, ll.H
 	w, h := 2*mw, 2*mh
 
 	// Vertical synthesis into the two half-width planes.
-	rowOut := frame.New(w, h)
+	rowOut, err := pool.Get(w, h)
+	if err != nil {
+		return nil, err
+	}
 	loCol := growCol(x, mh)
-	hiCol := make([]float32, mh)
+	hiCol := growHiCol(x, mh)
 	for cx := 0; cx < mw; cx++ {
 		for y := 0; y < mh; y++ {
 			loCol[y] = ll.Pix[y*mw+cx]
@@ -167,33 +324,43 @@ func inverseLevel(x *Xfm, rowBank, colBank *Bank, ll *frame.Frame, b Bands, orig
 		x.chargeCPU(h)
 	}
 
-	// Horizontal synthesis row by row.
-	out := frame.New(w, h)
+	// Horizontal synthesis row by row, in place: Synthesize1D consumes the
+	// subband halves into its padded scratch before any output is written,
+	// so writing the reconstruction back over the same row is safe.
 	for y := 0; y < h; y++ {
 		row := rowOut.Row(y)
 		x.y2 = x.Synthesize1D(rowBank, row[:mw], row[mw:], x.y2)
-		copy(out.Row(y), x.y2)
+		copy(row, x.y2)
 		x.chargeCPU(w)
 	}
 
 	if orig.w == w && orig.h == h {
-		return out
+		return rowOut, nil
 	}
-	cropped, err := out.SubFrame(0, 0, orig.w, orig.h)
+	cropped, err := pool.Get(orig.w, orig.h)
 	if err != nil {
-		panic("wavelet: internal crop error: " + err.Error())
+		rowOut.Release()
+		return nil, err
 	}
-	return cropped
+	for r := 0; r < orig.h; r++ {
+		copy(cropped.Row(r), rowOut.Pix[r*w:r*w+orig.w])
+	}
+	rowOut.Release()
+	return cropped, nil
 }
 
-// padEven returns img extended to even dimensions by edge replication (a
-// no-op clone-free pass-through when already even).
-func padEven(x *Xfm, img *frame.Frame) *frame.Frame {
+// padEvenPooled returns img extended to even dimensions by edge
+// replication — a pass-through when already even, otherwise a plane leased
+// from pool that the caller releases via the returned owned handle.
+func padEvenPooled(x *Xfm, img *frame.Frame, pool *bufpool.Pool) (padded, owned *frame.Frame, err error) {
 	if img.W%2 == 0 && img.H%2 == 0 {
-		return img
+		return img, nil, nil
 	}
 	w, h := img.W+img.W%2, img.H+img.H%2
-	p := frame.New(w, h)
+	p, err := pool.Get(w, h)
+	if err != nil {
+		return nil, nil, err
+	}
 	for y := 0; y < h; y++ {
 		sy := y
 		if sy >= img.H {
@@ -206,12 +373,17 @@ func padEven(x *Xfm, img *frame.Frame) *frame.Frame {
 		}
 	}
 	x.chargeCPU(w * h)
-	return p
+	return p, p, nil
 }
 
 func growCol(x *Xfm, n int) []float32 {
 	x.col = grow(x.col, n)
 	return x.col
+}
+
+func growHiCol(x *Xfm, n int) []float32 {
+	x.hiCol = grow(x.hiCol, n)
+	return x.hiCol
 }
 
 // Mosaic renders the classic subband layout picture (Fig. 1 of the paper):

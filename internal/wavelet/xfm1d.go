@@ -23,6 +23,7 @@ type Xfm struct {
 	y       []float32
 	y2      []float32
 	col     []float32
+	hiCol   []float32
 	lo, hi  []float32
 	charger cpuCharger
 }

@@ -65,7 +65,10 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 // Step advances the scene, captures both cameras and fuses the pair.
 func (s *System) Step() (Result, error) {
 	s.Scene.Advance()
-	vis := s.Webcam.Capture()
+	vis, err := s.Webcam.Capture()
+	if err != nil {
+		return Result{}, err
+	}
 	ir, err := s.Thermal.Capture()
 	if err != nil {
 		return Result{}, err

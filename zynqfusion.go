@@ -5,6 +5,7 @@ import (
 	"math"
 	"strconv"
 
+	"zynqfusion/internal/bufpool"
 	"zynqfusion/internal/dvfs"
 	"zynqfusion/internal/engine"
 	"zynqfusion/internal/farm"
@@ -135,7 +136,28 @@ type Options struct {
 	// instead of the stage sum. Pixels are identical at every depth.
 	// Negative values and depths beyond MaxPipelineDepth are rejected.
 	PipelineDepth int
+	// BufferPool sizes the fuser's frame-store arena, the pool every
+	// working plane — transform pyramids, per-level scratch, fused
+	// outputs — is leased from, modeled on the board's fixed DDR frame
+	// stores. The zero value is an unbounded private pool (pooling is
+	// always on; in steady state a fuser allocates nothing per frame).
+	// CapBytes > 0 makes the ceiling hard: a frame whose working set
+	// cannot fit fails with a descriptive error instead of growing.
+	// PerStream only applies to farms (FarmConfig.BufferPool). The frame
+	// returned by Fuse is leased from this arena: Release it when done to
+	// recycle the plane, or simply drop it (the pool never reuses a plane
+	// that has not been released).
+	BufferPool BufferPool
 }
+
+// BufferPool is the frame-store arena budget of a Fuser or Farm: CapBytes
+// bounds the whole arena, PerStream each farm stream's sub-pool. See
+// Options.BufferPool and FarmConfig.BufferPool.
+type BufferPool = bufpool.Budget
+
+// PoolStats is a frame-store arena's telemetry: hit/miss counts,
+// outstanding leases, high-water footprint.
+type PoolStats = bufpool.Stats
 
 // MaxPipelineDepth is the largest accepted Options.PipelineDepth — a
 // sanity bound well above the point where throughput saturates (the
@@ -189,6 +211,7 @@ func New(opts Options) (*Fuser, error) {
 		Levels:    opts.Levels,
 		Rule:      opts.Rule,
 		IncludeIO: opts.IncludeIO,
+		Pool:      bufpool.New(bufpool.Options{CapBytes: opts.BufferPool.CapBytes}),
 	}
 	f := &Fuser{pl: pipeline.New(eng, cfg), kind: opts.Engine}
 	if opts.PipelineDepth >= 1 {
@@ -251,6 +274,15 @@ func splitPolicyFor(name string, op dvfs.OperatingPoint) (split.Policy, error) {
 
 // Engine reports the configured engine kind.
 func (f *Fuser) Engine() EngineKind { return f.kind }
+
+// PoolStats reports the fuser's frame-store arena telemetry.
+func (f *Fuser) PoolStats() PoolStats { return f.pl.Pool().Stats() }
+
+// Close releases the fuser's workspace planes back to its arena. Once the
+// caller has also released (or dropped) the fused frames it still holds,
+// the arena's Outstanding count is zero. The fuser remains usable after
+// Close; the workspaces are re-leased on the next Fuse.
+func (f *Fuser) Close() { f.pl.Close() }
 
 // OperatingPoint reports the PS voltage/frequency point the fuser
 // accounts at.

@@ -28,6 +28,7 @@ func main() {
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	short := flag.Bool("short", false, "trim sweeps to smoke-sized grids")
 	jsonDir := flag.String("json", "", "also write BENCH_<id>.json records into this directory")
+	tracePath := flag.String("trace", "", "run a demo pipelined farm and write its Chrome trace JSON to this file, then exit")
 	flag.Parse()
 	bench.Short = *short
 
@@ -35,6 +36,24 @@ func main() {
 		for _, e := range bench.All() {
 			fmt.Printf("%-18s %s\n", e.ID, e.Title)
 		}
+		return
+	}
+
+	if *tracePath != "" {
+		out, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "trace:", err)
+			os.Exit(1)
+		}
+		err = bench.TraceDemo(out)
+		if cerr := out.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "trace:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (load in Perfetto or chrome://tracing)\n", *tracePath)
 		return
 	}
 

@@ -11,7 +11,9 @@
 // API:
 //
 //	GET    /healthz
-//	GET    /metrics
+//	GET    /metrics                  (?format=prometheus for text exposition)
+//	GET    /trace?stream=ID&frames=N Chrome trace_event JSON
+//	GET    /events?stream=ID&n=N     structured event log
 //	GET    /dvfs
 //	POST   /streams        {"w":88,"h":72,"seed":1,"engine":"adaptive","frames":0,
 //	                        "deadline_ms":120,"dvfs_policy":"deadline-pace"}
@@ -29,6 +31,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -46,6 +49,7 @@ type options struct {
 	streams      int     // demo streams to start at boot
 	poolCapMB    float64 // frame-store arena ceiling in MB (0 = unbounded)
 	poolStreamMB float64 // per-stream sub-pool ceiling in MB (0 = unbounded)
+	pprof        bool    // expose net/http/pprof under /debug/pprof/
 }
 
 // newDaemon builds the farm and its HTTP handler from the options: the
@@ -66,7 +70,22 @@ func newDaemon(opt options) (*farm.Farm, http.Handler, error) {
 			return nil, nil, fmt.Errorf("boot stream %d: %w", i+1, err)
 		}
 	}
-	return fm, farm.NewServer(fm), nil
+	handler := farm.NewServer(fm)
+	if opt.pprof {
+		// Host pprof explicitly on a parent mux instead of relying on the
+		// DefaultServeMux side-effect registration: the profiler is only
+		// reachable when the operator opted in with -pprof, never by
+		// default on a daemon that binds a routable address.
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/", handler)
+		handler = mux
+	}
+	return fm, handler, nil
 }
 
 // drain is the graceful-shutdown path: stop accepting HTTP work, stop and
@@ -97,6 +116,7 @@ func main() {
 	flag.IntVar(&opt.streams, "streams", 0, "demo streams to start at boot")
 	flag.Float64Var(&opt.poolCapMB, "pool-cap-mb", 0, "frame-store arena ceiling in MB across all streams (0 = unbounded)")
 	flag.Float64Var(&opt.poolStreamMB, "pool-stream-mb", 0, "per-stream frame-store budget in MB (0 = unbounded)")
+	flag.BoolVar(&opt.pprof, "pprof", false, "expose Go profiling endpoints under /debug/pprof/ (off by default)")
 	flag.Parse()
 
 	fm, handler, err := newDaemon(opt)

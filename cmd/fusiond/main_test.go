@@ -148,3 +148,35 @@ func TestNewDaemonFarmOwnership(t *testing.T) {
 		t.Error("closed farm accepted a stream")
 	}
 }
+
+// TestPprofGate: the Go profiler is served only when the operator passed
+// -pprof; the default daemon must not expose /debug/pprof/ at all, and
+// the opt-in mux must keep every farm endpoint reachable.
+func TestPprofGate(t *testing.T) {
+	get := func(h http.Handler, path string) int {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+		return rec.Code
+	}
+
+	fm, handler, err := newDaemon(options{queueCap: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fm.Close()
+	if code := get(handler, "/debug/pprof/"); code != http.StatusNotFound {
+		t.Fatalf("pprof exposed without -pprof: status %d", code)
+	}
+
+	fm2, handler2, err := newDaemon(options{queueCap: 4, pprof: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fm2.Close()
+	if code := get(handler2, "/debug/pprof/"); code != http.StatusOK {
+		t.Fatalf("pprof index with -pprof: status %d", code)
+	}
+	if code := get(handler2, "/healthz"); code != http.StatusOK {
+		t.Fatalf("farm endpoints lost behind the pprof mux: status %d", code)
+	}
+}

@@ -1,0 +1,35 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"zynqfusion/internal/farm"
+	"zynqfusion/internal/obs"
+)
+
+// TraceDemo runs a short two-stream pipelined farm to completion and
+// writes its merged Chrome trace_event JSON to w — the payload behind
+// `fusionbench -trace out.json`, loadable in Perfetto or chrome://tracing.
+// One process per stream with a track per pipeline station, plus the
+// governor's fpga-lease process, so the stage overlap and the shared wave
+// engine's interleaving are visible on one timeline.
+func TraceDemo(w io.Writer) error {
+	fm := farm.New(farm.Config{})
+	defer fm.Close()
+	for i := 0; i < 2; i++ {
+		cfg := farm.StreamConfig{
+			Seed:      int64(i + 1),
+			Frames:    12,
+			QueueCap:  12,
+			Pipelined: true,
+			Depth:     3,
+		}
+		if _, err := fm.Submit(cfg); err != nil {
+			return fmt.Errorf("bench: trace demo stream %d: %w", i+1, err)
+		}
+	}
+	fm.Wait()
+	views, _ := fm.Trace("", 0)
+	return obs.WriteTrace(w, views)
+}

@@ -92,9 +92,11 @@ type Stats struct {
 }
 
 // HitRate returns the fraction of acquires served without allocating.
+// Before any acquire the rate is vacuously perfect, reported as an
+// explicit 1.0 so dashboards do not render a cold pool as a 0% hit rate.
 func (s Stats) HitRate() float64 {
 	if s.Gets == 0 {
-		return 0
+		return 1
 	}
 	return float64(s.Hits) / float64(s.Gets)
 }
@@ -117,6 +119,12 @@ type Pool struct {
 	childBytes                   int64 // sub-pool arena bytes charged here
 	highWater                    int64
 	blockedGets                  int64
+
+	// onShed, when set, observes every plane dropped at the cap (argument
+	// is the plane's bytes). It runs with p.mu held, so it must only touch
+	// leaf-locked state — an event ring, a counter — and never call back
+	// into the pool.
+	onShed func(planeBytes int64)
 }
 
 // New builds a pool.
@@ -147,6 +155,15 @@ func (p *Pool) Sub(capBytes int64) *Pool {
 
 // Cap reports the configured byte bound (0 = unbounded).
 func (p *Pool) Cap() int64 { return p.opts.CapBytes }
+
+// SetShedHook installs a callback observing every pooled plane this pool
+// drops at the cap. The hook runs with the pool lock held (see onShed);
+// install it before the pool sees traffic.
+func (p *Pool) SetShedHook(fn func(planeBytes int64)) {
+	p.mu.Lock()
+	p.onShed = fn
+	p.mu.Unlock()
+}
 
 // footprint is the arena total this pool answers for. Callers hold p.mu.
 func (p *Pool) footprintLocked() int64 {
@@ -264,9 +281,13 @@ func (p *Pool) shedLocked() bool {
 	list := p.free[best]
 	f := list[len(list)-1]
 	p.free[best] = list[:len(list)-1]
-	p.pooledBytes -= int64(cap(f.Pix)) * bytesPerPixel
+	bytes := int64(cap(f.Pix)) * bytesPerPixel
+	p.pooledBytes -= bytes
+	if p.onShed != nil {
+		p.onShed(bytes)
+	}
 	if p.parent != nil {
-		p.parent.releaseChild(int64(cap(f.Pix)) * bytesPerPixel)
+		p.parent.releaseChild(bytes)
 	}
 	return true
 }

@@ -269,3 +269,31 @@ func TestBadShapeAndMustGet(t *testing.T) {
 	tiny := New(Options{CapBytes: 4})
 	tiny.MustGet(100, 100)
 }
+
+// TestHitRateBeforeFirstAcquire: a pool that has never served an acquire
+// reports a hit rate of exactly 1.0 — vacuously perfect — never a
+// misleading 0% that would trip "cache ineffective" dashboards at boot.
+func TestHitRateBeforeFirstAcquire(t *testing.T) {
+	p := New(Options{})
+	if got := p.Stats().HitRate(); got != 1.0 {
+		t.Fatalf("zero-acquire HitRate = %v, want 1.0", got)
+	}
+	// The first acquire is necessarily a miss; the rate must drop to 0.
+	f, err := p.Get(8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Stats().HitRate(); got != 0 {
+		t.Fatalf("after one miss HitRate = %v, want 0", got)
+	}
+	f.Release()
+	// A recycled lease is a hit; the rate recovers to 1/2.
+	g, err := p.Get(8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Release()
+	if got := p.Stats().HitRate(); got != 0.5 {
+		t.Fatalf("after miss+hit HitRate = %v, want 0.5", got)
+	}
+}

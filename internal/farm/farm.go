@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"zynqfusion/internal/bufpool"
+	"zynqfusion/internal/obs"
 	"zynqfusion/internal/sim"
 )
 
@@ -40,9 +41,10 @@ type Config struct {
 // Farm runs many fusion streams over per-worker pipelines and a shared
 // energy governor. All methods are safe for concurrent use.
 type Farm struct {
-	cfg  Config
-	gov  *Governor
-	pool *bufpool.Pool // shared frame-store arena; streams get sub-pools
+	cfg    Config
+	gov    *Governor
+	pool   *bufpool.Pool // shared frame-store arena; streams get sub-pools
+	events *obs.EventLog // per-stream structured event rings
 
 	mu      sync.Mutex
 	streams map[string]*Stream
@@ -54,13 +56,28 @@ type Farm struct {
 
 // New builds an empty farm.
 func New(cfg Config) *Farm {
-	return &Farm{
+	f := &Farm{
 		cfg:     cfg,
 		gov:     NewGovernor(cfg.PowerBudget),
 		pool:    bufpool.New(bufpool.Options{CapBytes: cfg.BufferPool.CapBytes}),
+		events:  obs.NewEventLog(0),
 		streams: make(map[string]*Stream),
 		pending: make(map[string]struct{}),
 	}
+	// Denied leases become structured events on the denied stream's ring.
+	// The observer runs outside the governor lock, so looking up the ring
+	// (which briefly takes the event-log map lock) is safe.
+	f.gov.SetLeaseObserver(func(stream string, granted, budget bool) {
+		if granted {
+			return
+		}
+		label := ""
+		if budget {
+			label = "budget"
+		}
+		f.events.Ring(stream).Push(obs.EventLeaseDenial, -1, 0, label)
+	})
+	return f
 }
 
 // Governor exposes the shared arbiter (read-mostly: stats and spans).
@@ -102,7 +119,14 @@ func (f *Farm) Submit(cfg StreamConfig) (*Stream, error) {
 	f.pending[cfg.ID] = struct{}{}
 	f.mu.Unlock()
 
-	s, err := newStream(cfg, f.gov, f.pool.Sub(f.cfg.BufferPool.PerStream))
+	ring := f.events.Ring(cfg.ID)
+	sub := f.pool.Sub(f.cfg.BufferPool.PerStream)
+	// The shed hook runs under the pool lock; pushing to the pre-resolved
+	// leaf-locked ring is the only thing it may do.
+	sub.SetShedHook(func(planeBytes int64) {
+		ring.Push(obs.EventPoolShed, -1, float64(planeBytes), "")
+	})
+	s, err := newStream(cfg, f.gov, sub, ring)
 
 	f.mu.Lock()
 	delete(f.pending, cfg.ID)
@@ -187,6 +211,46 @@ func (f *Farm) Closed() bool {
 	return f.closed
 }
 
+// Events returns up to n most recent structured events (n <= 0 means all
+// retained), filtered to one stream when stream != "", merged across all
+// streams in farm-wide order otherwise.
+func (f *Farm) Events(stream string, n int) []obs.Event {
+	return f.events.Events(stream, n)
+}
+
+// Trace assembles the farm's Chrome-trace view: one process per stream
+// (sorted by id so identical farms export identical traces), each with a
+// track per pipeline station plus the dvfs/counter tracks, and one
+// "fpga-lease" process whose single track shows the shared wave engine's
+// granted spans labeled by holder. frames trims each stream to its last
+// frames distinct frame numbers (<= 0 keeps everything retained). It
+// reports false when the named stream does not exist.
+func (f *Farm) Trace(stream string, frames int) ([]obs.TraceView, bool) {
+	var streams []*Stream
+	if stream != "" {
+		s, ok := f.Get(stream)
+		if !ok {
+			return nil, false
+		}
+		streams = []*Stream{s}
+	} else {
+		streams = f.List()
+		sort.Slice(streams, func(i, j int) bool { return streams[i].ID() < streams[j].ID() })
+	}
+	views := make([]obs.TraceView, 0, len(streams)+1)
+	for _, s := range streams {
+		views = append(views, obs.TraceView{Process: s.ID(), Spans: s.TraceSpans(frames)})
+	}
+	lease := obs.TraceView{Process: "fpga-lease"}
+	for _, sp := range f.gov.Spans() {
+		lease.Spans = append(lease.Spans, obs.TraceSpan{
+			Track: "fpga", Name: sp.Stream, Start: sp.Start, End: sp.End,
+		})
+	}
+	views = append(views, lease)
+	return views, true
+}
+
 // Metrics snapshots the whole farm: per-stream telemetry sorted by id,
 // the aggregate rollup, and the governor's view.
 func (f *Farm) Metrics() Metrics {
@@ -199,9 +263,18 @@ func (f *Farm) Metrics() Metrics {
 
 	var agg AggregateTelemetry
 	agg.Streams = len(teles)
+	var aggLat, aggEnergy obs.Summary
 	for _, t := range teles {
 		if t.Running {
 			agg.Active++
+		}
+		// Stream layouts are shared by construction, so the merges cannot
+		// fail; cloning keeps the in-place fold off the stream summaries.
+		if t.LatencyHist != nil {
+			_ = aggLat.Merge(t.LatencyHist.Clone())
+		}
+		if t.EnergyHist != nil {
+			_ = aggEnergy.Merge(t.EnergyHist.Clone())
 		}
 		agg.Captured += t.Captured
 		agg.Fused += t.Fused
@@ -213,6 +286,12 @@ func (f *Farm) Metrics() Metrics {
 		agg.Energy += t.Stages.Energy
 		agg.DeadlineMisses += t.DeadlineMisses
 		agg.SlackEnergy += t.SlackEnergy
+	}
+	if aggLat.Count > 0 {
+		agg.LatencyHist = &aggLat
+	}
+	if aggEnergy.Count > 0 {
+		agg.EnergyHist = &aggEnergy
 	}
 	if agg.Fused > 0 {
 		agg.EnergyPerFrame = agg.Energy / sim.Joules(agg.Fused)

@@ -65,6 +65,10 @@ type Governor struct {
 	// Per-stream accumulated accounting.
 	budget   sim.Watts
 	accounts map[string]*account
+
+	// onLease observes every TryAcquire outcome (set before any stream
+	// runs; called outside g.mu).
+	onLease func(stream string, granted, budget bool)
 }
 
 type account struct {
@@ -80,25 +84,41 @@ func NewGovernor(budget sim.Watts) *Governor {
 	return &Governor{budget: budget, accounts: make(map[string]*account)}
 }
 
+// SetLeaseObserver installs a callback notified of every TryAcquire
+// outcome (granted or denied, with the budget flag marking budget-caused
+// denials). Install it before the farm starts streams; the observer runs
+// outside the governor lock, on the acquiring stream's goroutine.
+func (g *Governor) SetLeaseObserver(fn func(stream string, granted, budget bool)) {
+	g.mu.Lock()
+	g.onLease = fn
+	g.mu.Unlock()
+}
+
 // TryAcquire attempts to take the FPGA lease for one fused frame. It fails
 // when another stream holds the engine, or when granting it would push the
 // aggregate modeled power past the budget (the wave engine adds
 // power.FPGADelta while active).
 func (g *Governor) TryAcquire(stream string) bool {
 	g.mu.Lock()
-	defer g.mu.Unlock()
-	if g.holder != "" {
+	granted, overBudget := false, false
+	switch {
+	case g.holder != "":
 		g.denials++
-		return false
-	}
-	if g.budget > 0 && g.aggregatePowerLocked()+power.FPGADelta > g.budget {
+	case g.budget > 0 && g.aggregatePowerLocked()+power.FPGADelta > g.budget:
 		g.denials++
 		g.budgetDenials++
-		return false
+		overBudget = true
+	default:
+		g.holder = stream
+		g.grants++
+		granted = true
 	}
-	g.holder = stream
-	g.grants++
-	return true
+	observe := g.onLease
+	g.mu.Unlock()
+	if observe != nil {
+		observe(stream, granted, overBudget)
+	}
+	return granted
 }
 
 // Release returns the lease, recording the FPGA busy time the holder

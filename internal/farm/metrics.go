@@ -2,6 +2,7 @@ package farm
 
 import (
 	"zynqfusion/internal/bufpool"
+	"zynqfusion/internal/obs"
 	"zynqfusion/internal/pipeline"
 	"zynqfusion/internal/sim"
 )
@@ -149,6 +150,19 @@ type StreamTelemetry struct {
 	PipelineFill     sim.Time           `json:"pipeline_fill_ps,omitempty"`
 	StageOccupancy   map[string]float64 `json:"stage_occupancy,omitempty"`
 
+	// Per-frame distributions (nil until the first frame fuses): latency
+	// and deadline slack in modeled milliseconds, energy in modeled
+	// millijoules, capture-queue depth at fuse admission. Each carries
+	// p50/p95/p99 plus the full cumulative bucket vector; the latency and
+	// energy summaries are deterministic for a bounded free-running stream
+	// (they record modeled time, not wall time), the queue-depth one is
+	// not (admission depth depends on host scheduling). SlackHist is nil
+	// without a deadline.
+	LatencyHist    *obs.Summary `json:"latency_hist,omitempty"`
+	EnergyHist     *obs.Summary `json:"energy_hist,omitempty"`
+	QueueDepthHist *obs.Summary `json:"queue_depth_hist,omitempty"`
+	SlackHist      *obs.Summary `json:"slack_hist,omitempty"`
+
 	// Pool is the stream's budgeted frame-store sub-pool telemetry: hit
 	// rate, outstanding leases, high-water footprint. Nil for streams
 	// predating the pool (never in practice).
@@ -182,6 +196,14 @@ type AggregateTelemetry struct {
 	// every stream that has one.
 	DeadlineMisses int64      `json:"deadline_misses"`
 	SlackEnergy    sim.Joules `json:"slack_energy_joules"`
+
+	// LatencyHist and EnergyHist merge every stream's per-frame latency
+	// (ms) and energy (mJ) distributions bucket-for-bucket — the layouts
+	// are shared — so farm-wide p50/p95/p99 are exact with respect to the
+	// bucketing, not averages of per-stream quantiles. Nil until a frame
+	// has fused.
+	LatencyHist *obs.Summary `json:"latency_hist,omitempty"`
+	EnergyHist  *obs.Summary `json:"energy_hist,omitempty"`
 }
 
 // MemoryTelemetry is the farm's runtime-memory snapshot: Go heap and GC
@@ -197,7 +219,8 @@ type MemoryTelemetry struct {
 	GCCycles       uint32 `json:"gc_cycles"`
 	GCPauseTotalNS uint64 `json:"gc_pause_total_ns"`
 	// Pool is the shared frame-store arena's ledger and PoolHitRate its
-	// fraction of acquires served without allocating.
+	// fraction of acquires served without allocating (an explicit 1.0
+	// before any acquire — vacuously perfect, never NaN or a misleading 0).
 	Pool        bufpool.Stats `json:"pool"`
 	PoolHitRate float64       `json:"pool_hit_rate"`
 }

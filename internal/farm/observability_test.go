@@ -1,0 +1,629 @@
+package farm
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"zynqfusion/internal/obs"
+)
+
+// runObsFarm runs a small farm with one stream per interesting telemetry
+// shape — sequential adaptive with a deadline (slack histogram), pipelined
+// cooperative split (stage-overlap trace), NEON-only (no FPGA series) —
+// to completion and returns it still open for scraping.
+func runObsFarm(t *testing.T) *Farm {
+	t.Helper()
+	fm := New(Config{})
+	t.Cleanup(fm.Close)
+	cfgs := []StreamConfig{
+		{ID: "seq", Engine: "adaptive", Seed: 1, W: 32, H: 24, Frames: 4, QueueCap: 4, DeadlineMS: 1000},
+		{ID: "pipe", Engine: "split-oracle", Seed: 2, W: 32, H: 24, Frames: 4, QueueCap: 4, Pipelined: true, Depth: 3},
+		{ID: "neon", Engine: "neon", Seed: 3, W: 32, H: 24, Frames: 4, QueueCap: 4},
+	}
+	for _, cfg := range cfgs {
+		if _, err := fm.Submit(cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fm.Wait()
+	return fm
+}
+
+// --- Prometheus text format 0.0.4: strict parse + lint -------------------
+
+var (
+	promNameRe  = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	promLabelRe = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+type promSample struct {
+	name   string
+	labels map[string]string
+	value  float64
+}
+
+// series renders the sample's identity (name + canonically ordered label
+// set) for duplicate detection.
+func (s promSample) series() string {
+	keys := make([]string, 0, len(s.labels))
+	for k := range s.labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(s.name)
+	for _, k := range keys {
+		fmt.Fprintf(&b, `,%s=%q`, k, s.labels[k])
+	}
+	return b.String()
+}
+
+// parsePromText is a strict parser for the Prometheus text exposition
+// format 0.0.4. Any malformation — a sample without a preceding TYPE,
+// duplicate HELP/TYPE, an invalid metric or label name, an unparsable
+// value, a duplicate series — fails the test.
+func parsePromText(t *testing.T, text string) (map[string]string, []promSample) {
+	t.Helper()
+	types := map[string]string{} // family -> counter|gauge|histogram
+	help := map[string]bool{}
+	sampled := map[string]bool{} // families that have emitted samples
+	seen := map[string]bool{}    // duplicate-series detection
+	var samples []promSample
+
+	family := func(name string) string {
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			base, ok := strings.CutSuffix(name, suf)
+			if ok && types[base] == "histogram" {
+				return base
+			}
+		}
+		return name
+	}
+
+	for ln, line := range strings.Split(text, "\n") {
+		ln++
+		if line == "" {
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# HELP "); ok {
+			name, _, ok := strings.Cut(rest, " ")
+			if !ok || !promNameRe.MatchString(name) {
+				t.Fatalf("line %d: malformed HELP: %q", ln, line)
+			}
+			if help[name] {
+				t.Fatalf("line %d: duplicate HELP for %s", ln, name)
+			}
+			help[name] = true
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			name, typ, ok := strings.Cut(rest, " ")
+			if !ok || !promNameRe.MatchString(name) {
+				t.Fatalf("line %d: malformed TYPE: %q", ln, line)
+			}
+			switch typ {
+			case "counter", "gauge", "histogram":
+			default:
+				t.Fatalf("line %d: unknown type %q for %s", ln, typ, name)
+			}
+			if _, dup := types[name]; dup {
+				t.Fatalf("line %d: duplicate TYPE for %s", ln, name)
+			}
+			if sampled[name] {
+				t.Fatalf("line %d: TYPE for %s after its samples", ln, name)
+			}
+			types[name] = typ
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // comment
+		}
+
+		// Sample line: name[{labels}] value
+		s := promSample{labels: map[string]string{}}
+		rest := line
+		if i := strings.IndexAny(rest, "{ "); i < 0 {
+			t.Fatalf("line %d: malformed sample: %q", ln, line)
+		} else {
+			s.name = rest[:i]
+			rest = rest[i:]
+		}
+		if !promNameRe.MatchString(s.name) {
+			t.Fatalf("line %d: invalid metric name %q", ln, s.name)
+		}
+		if strings.HasPrefix(rest, "{") {
+			end := strings.Index(rest, "}")
+			if end < 0 {
+				t.Fatalf("line %d: unterminated label set: %q", ln, line)
+			}
+			for _, pair := range strings.Split(rest[1:end], ",") {
+				k, v, ok := strings.Cut(pair, "=")
+				if !ok || !promLabelRe.MatchString(k) {
+					t.Fatalf("line %d: malformed label %q", ln, pair)
+				}
+				unq, err := strconv.Unquote(v)
+				if err != nil {
+					t.Fatalf("line %d: label value %s not quoted: %v", ln, v, err)
+				}
+				if _, dup := s.labels[k]; dup {
+					t.Fatalf("line %d: duplicate label %q", ln, k)
+				}
+				s.labels[k] = unq
+			}
+			rest = rest[end+1:]
+		}
+		val := strings.TrimSpace(rest)
+		f, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			t.Fatalf("line %d: bad value %q: %v", ln, val, err)
+		}
+		s.value = f
+
+		fam := family(s.name)
+		if _, ok := types[fam]; !ok {
+			t.Fatalf("line %d: sample %s has no preceding TYPE", ln, s.name)
+		}
+		if !help[fam] {
+			t.Fatalf("line %d: family %s has no HELP", ln, fam)
+		}
+		sampled[fam] = true
+		if key := s.series(); seen[key] {
+			t.Fatalf("line %d: duplicate series %s", ln, key)
+		} else {
+			seen[key] = true
+		}
+		samples = append(samples, s)
+	}
+	return types, samples
+}
+
+// lintPromHistograms checks every exported histogram family for text-format
+// coherence: cumulative non-decreasing buckets ending in le="+Inf", whose
+// count equals the family's _count, plus a _sum for the same label set.
+func lintPromHistograms(t *testing.T, types map[string]string, samples []promSample) {
+	t.Helper()
+	strip := func(s promSample, drop string) string {
+		cp := promSample{name: "", labels: map[string]string{}}
+		for k, v := range s.labels {
+			if k != drop {
+				cp.labels[k] = v
+			}
+		}
+		return cp.series()
+	}
+	for fam, typ := range types {
+		if typ != "histogram" {
+			continue
+		}
+		type group struct {
+			les    []float64
+			counts []float64
+			sum    bool
+			count  float64
+			hasCnt bool
+		}
+		groups := map[string]*group{}
+		get := func(key string) *group {
+			g, ok := groups[key]
+			if !ok {
+				g = &group{}
+				groups[key] = g
+			}
+			return g
+		}
+		for _, s := range samples {
+			switch s.name {
+			case fam + "_bucket":
+				le, ok := s.labels["le"]
+				if !ok {
+					t.Fatalf("%s_bucket without le label", fam)
+				}
+				f, err := strconv.ParseFloat(le, 64)
+				if err != nil {
+					t.Fatalf("%s_bucket: bad le %q", fam, le)
+				}
+				g := get(strip(s, "le"))
+				g.les = append(g.les, f)
+				g.counts = append(g.counts, s.value)
+			case fam + "_sum":
+				get(strip(s, "")).sum = true
+			case fam + "_count":
+				g := get(strip(s, ""))
+				g.count, g.hasCnt = s.value, true
+			}
+		}
+		if len(groups) == 0 {
+			t.Fatalf("histogram family %s exported no series", fam)
+		}
+		for key, g := range groups {
+			if !g.sum || !g.hasCnt {
+				t.Fatalf("%s{%s}: missing _sum or _count", fam, key)
+			}
+			if len(g.les) == 0 {
+				t.Fatalf("%s{%s}: no buckets", fam, key)
+			}
+			for i := 1; i < len(g.les); i++ {
+				if g.les[i] <= g.les[i-1] {
+					t.Fatalf("%s{%s}: le not ascending at %v", fam, key, g.les[i])
+				}
+				if g.counts[i] < g.counts[i-1] {
+					t.Fatalf("%s{%s}: bucket counts not cumulative", fam, key)
+				}
+			}
+			if last := g.les[len(g.les)-1]; !math.IsInf(last, 1) {
+				t.Fatalf("%s{%s}: last bucket le=%v, want +Inf", fam, key, last)
+			}
+			if got := g.counts[len(g.counts)-1]; got != g.count {
+				t.Fatalf("%s{%s}: +Inf bucket %v != _count %v", fam, key, got, g.count)
+			}
+		}
+	}
+}
+
+// TestPrometheusTextFormat round-trips a real farm snapshot through a
+// strict text-format parser: every family has HELP and TYPE, every name
+// and label is well-formed, no series repeats, and every histogram's
+// buckets are coherent with its _sum/_count.
+func TestPrometheusTextFormat(t *testing.T) {
+	fm := runObsFarm(t)
+	var buf strings.Builder
+	if err := WritePrometheus(&buf, fm.Metrics()); err != nil {
+		t.Fatal(err)
+	}
+	types, samples := parsePromText(t, buf.String())
+	lintPromHistograms(t, types, samples)
+
+	// Spot-check the layer's load-bearing series and labels.
+	find := func(name string, labels map[string]string) *promSample {
+		for i := range samples {
+			s := &samples[i]
+			if s.name != name {
+				continue
+			}
+			match := true
+			for k, v := range labels {
+				if s.labels[k] != v {
+					match = false
+					break
+				}
+			}
+			if match {
+				return s
+			}
+		}
+		return nil
+	}
+	if s := find("farm_stream_fused_total", map[string]string{"stream": "seq"}); s == nil || s.value != 4 {
+		t.Fatalf("farm_stream_fused_total{stream=seq} = %+v, want 4", s)
+	}
+	if s := find("farm_stream_stage_time_ps", map[string]string{"stream": "pipe", "stage": "fuse"}); s == nil || s.value <= 0 {
+		t.Fatalf("stage-labeled series missing: %+v", s)
+	}
+	if s := find("farm_stream_routed_rows_total", map[string]string{"stream": "neon", "engine": "neon"}); s == nil || s.value <= 0 {
+		t.Fatalf("engine-labeled series missing: %+v", s)
+	}
+	if s := find("farm_stream_op_frames_total", map[string]string{"stream": "seq", "point": "533MHz"}); s == nil || s.value != 4 {
+		t.Fatalf("point-labeled series missing: %+v", s)
+	}
+	if s := find("farm_stream_latency_ms_count", map[string]string{"stream": "seq"}); s == nil || s.value != 4 {
+		t.Fatalf("latency histogram count = %+v, want 4", s)
+	}
+	if s := find("farm_stream_slack_ms_count", map[string]string{"stream": "seq"}); s == nil || s.value != 4 {
+		t.Fatalf("slack histogram missing for deadline stream: %+v", s)
+	}
+	if s := find("farm_pool_hit_rate", nil); s == nil || s.value <= 0 || s.value > 1 {
+		t.Fatalf("farm_pool_hit_rate = %+v, want (0,1]", s)
+	}
+}
+
+// --- /trace: well-formed Chrome trace JSON with monotone tracks ----------
+
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s"`
+	Args map[string]any `json:"args"`
+}
+
+// TestTraceEndpoint validates /trace output as Chrome trace_event JSON:
+// the container parses, every event carries a known phase, metadata names
+// every process and thread before use, and within each (pid, tid) track
+// the duration spans are monotone and non-overlapping — a station
+// processes one frame at a time, so any overlap is a recorder bug.
+func TestTraceEndpoint(t *testing.T) {
+	fm := runObsFarm(t)
+	srv := httptest.NewServer(NewServer(fm))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/trace?frames=1000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/trace status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("/trace content-type %q", ct)
+	}
+	var file struct {
+		TraceEvents     []chromeEvent `json:"traceEvents"`
+		DisplayTimeUnit string        `json:"displayTimeUnit"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&file); err != nil {
+		t.Fatalf("trace JSON: %v", err)
+	}
+	if len(file.TraceEvents) == 0 {
+		t.Fatal("empty trace")
+	}
+
+	type track struct{ pid, tid int }
+	procNamed := map[int]string{}
+	trackNamed := map[track]string{}
+	spans := map[track][]chromeEvent{}
+	for _, ev := range file.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			name, _ := ev.Args["name"].(string)
+			switch ev.Name {
+			case "process_name":
+				procNamed[ev.Pid] = name
+			case "thread_name":
+				trackNamed[track{ev.Pid, ev.Tid}] = name
+			default:
+				t.Fatalf("unknown metadata event %q", ev.Name)
+			}
+		case "X":
+			if ev.Dur < 0 || ev.TS < 0 {
+				t.Fatalf("negative span: %+v", ev)
+			}
+			k := track{ev.Pid, ev.Tid}
+			spans[k] = append(spans[k], ev)
+		case "C":
+			if _, ok := ev.Args["value"]; !ok {
+				t.Fatalf("counter without value: %+v", ev)
+			}
+		case "i":
+			if ev.S != "t" {
+				t.Fatalf("instant without thread scope: %+v", ev)
+			}
+		default:
+			t.Fatalf("unknown phase %q", ev.Ph)
+		}
+	}
+
+	// Every referenced process and track is named, and the farm's three
+	// streams plus the governor's lease timeline all appear.
+	for _, ev := range file.TraceEvents {
+		if ev.Ph == "M" {
+			continue
+		}
+		if _, ok := procNamed[ev.Pid]; !ok {
+			t.Fatalf("event on unnamed pid %d", ev.Pid)
+		}
+		if _, ok := trackNamed[track{ev.Pid, ev.Tid}]; !ok {
+			t.Fatalf("event on unnamed track %d/%d", ev.Pid, ev.Tid)
+		}
+	}
+	want := map[string]bool{"seq": false, "pipe": false, "neon": false, "fpga-lease": false}
+	for _, name := range procNamed {
+		if _, ok := want[name]; ok {
+			want[name] = true
+		}
+	}
+	for name, ok := range want {
+		if !ok {
+			t.Fatalf("process %q missing from trace", name)
+		}
+	}
+
+	// Monotone, non-overlapping spans per track.
+	const eps = 1e-6
+	for k, evs := range spans {
+		sort.SliceStable(evs, func(i, j int) bool { return evs[i].TS < evs[j].TS })
+		for i := 1; i < len(evs); i++ {
+			prevEnd := evs[i-1].TS + evs[i-1].Dur
+			if evs[i].TS+eps < prevEnd {
+				t.Fatalf("track %s/%s: span %q at %v overlaps previous ending %v",
+					procNamed[k.pid], trackNamed[k], evs[i].Name, evs[i].TS, prevEnd)
+			}
+		}
+	}
+
+	// Bad parameters are rejected, unknown streams 404.
+	if resp, err := http.Get(srv.URL + "/trace?frames=x"); err != nil {
+		t.Fatal(err)
+	} else {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("bad frames: status %d", resp.StatusCode)
+		}
+	}
+	if resp, err := http.Get(srv.URL + "/trace?stream=nope"); err != nil {
+		t.Fatal(err)
+	} else {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("unknown stream: status %d", resp.StatusCode)
+		}
+	}
+}
+
+// --- Determinism: percentiles repeat across identical runs ---------------
+
+// TestHistogramDeterminism runs two identical bounded farms and requires
+// bit-equal latency and energy summaries: the histograms record modeled
+// time only, so for a contention-free configuration (NEON streams never
+// touch the shared-FPGA governor) the distributions must repeat exactly.
+// Queue-depth histograms are wall-clock-scheduling dependent and are
+// deliberately excluded.
+func TestHistogramDeterminism(t *testing.T) {
+	run := func() map[string]StreamTelemetry {
+		fm := New(Config{})
+		defer fm.Close()
+		for i := 0; i < 2; i++ {
+			cfg := StreamConfig{
+				ID: fmt.Sprintf("s%d", i), Engine: "neon", Seed: int64(i + 1),
+				W: 32, H: 24, Frames: 6, QueueCap: 6, DeadlineMS: 1000,
+			}
+			if _, err := fm.Submit(cfg); err != nil {
+				t.Fatal(err)
+			}
+		}
+		fm.Wait()
+		out := map[string]StreamTelemetry{}
+		for _, s := range fm.Metrics().Streams {
+			out[s.ID] = s
+		}
+		return out
+	}
+	a, b := run(), run()
+	for id, ta := range a {
+		tb := b[id]
+		for _, h := range []struct {
+			name string
+			a, b *obs.Summary
+		}{
+			{"latency", ta.LatencyHist, tb.LatencyHist},
+			{"energy", ta.EnergyHist, tb.EnergyHist},
+			{"slack", ta.SlackHist, tb.SlackHist},
+		} {
+			if h.a == nil || h.b == nil {
+				t.Fatalf("%s/%s: summary missing (%v, %v)", id, h.name, h.a, h.b)
+			}
+			if h.a.Count == 0 {
+				t.Fatalf("%s/%s: empty summary", id, h.name)
+			}
+			if h.a.P50 != h.b.P50 || h.a.P95 != h.b.P95 || h.a.P99 != h.b.P99 ||
+				h.a.Count != h.b.Count || h.a.Sum != h.b.Sum ||
+				h.a.Min != h.b.Min || h.a.Max != h.b.Max {
+				t.Fatalf("%s/%s: summaries differ across identical runs:\n%+v\n%+v",
+					id, h.name, *h.a, *h.b)
+			}
+		}
+	}
+}
+
+// --- Smoke: scrape the observability surface of a live 4-stream farm -----
+
+// TestObservabilitySmoke is the CI scrape: a 4-stream farm served over
+// HTTP answers /metrics?format=prometheus with well-formed text and
+// /events with the streams' lifecycle events.
+func TestObservabilitySmoke(t *testing.T) {
+	fm := New(Config{})
+	defer fm.Close()
+	srv := httptest.NewServer(NewServer(fm))
+	defer srv.Close()
+
+	for i := 0; i < 4; i++ {
+		cfg := StreamConfig{
+			ID: fmt.Sprintf("cam%d", i), Seed: int64(i + 1),
+			W: 32, H: 24, Frames: 3, QueueCap: 3,
+		}
+		if _, err := fm.Submit(cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fm.Wait()
+
+	resp, err := http.Get(srv.URL + "/metrics?format=prometheus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics?format=prometheus status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Fatalf("prometheus content-type %q", ct)
+	}
+	types, samples := parsePromText(t, string(body))
+	lintPromHistograms(t, types, samples)
+	if !strings.Contains(string(body), `farm_stream_fused_total{stream="cam0"} 3`) {
+		t.Fatal("scrape missing cam0 fused counter")
+	}
+
+	var events []obs.Event
+	if code := getJSON(t, srv.URL+"/events", &events); code != http.StatusOK {
+		t.Fatalf("/events status %d", code)
+	}
+	byKind := map[string]int{}
+	for i, ev := range events {
+		byKind[ev.Kind]++
+		if i > 0 && events[i].Seq <= events[i-1].Seq {
+			t.Fatalf("event seq not increasing: %d then %d", events[i-1].Seq, events[i].Seq)
+		}
+	}
+	if byKind[obs.EventStreamStart] != 4 || byKind[obs.EventStreamStop] != 4 {
+		t.Fatalf("lifecycle events = %v, want 4 starts and 4 stops", byKind)
+	}
+
+	var one []obs.Event
+	if code := getJSON(t, srv.URL+"/events?stream=cam1&n=2", &one); code != http.StatusOK {
+		t.Fatalf("/events?stream status %d", code)
+	}
+	if len(one) != 2 {
+		t.Fatalf("n=2 returned %d events", len(one))
+	}
+	for _, ev := range one {
+		if ev.Stream != "cam1" {
+			t.Fatalf("stream filter leaked event from %q", ev.Stream)
+		}
+	}
+	if code := getJSON(t, srv.URL+"/events?n=x", nil); code != http.StatusBadRequest {
+		t.Fatalf("/events?n=x status %d", code)
+	}
+}
+
+// --- Allocation guard: the hot path stays allocation-free ----------------
+
+// TestAllocGuardFarmObservability pins the farm's per-frame fusion path —
+// with latency/energy/queue/slack histograms, the trace recorder and the
+// event ring all live — at the repo-wide steady-state budget of <= 2
+// allocations per frame. A histogram Observe, ring Push or trace Span
+// that starts allocating shows up here as a hard CI failure.
+func TestAllocGuardFarmObservability(t *testing.T) {
+	cfg := StreamConfig{
+		ID: "alloc", Engine: "adaptive", Seed: 3,
+		W: 32, H: 24, Frames: 1, DeadlineMS: 1000,
+	}
+	s, err := newStream(cfg, NewGovernor(0), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One captured pair, retained across frames: the guard measures the
+	// fusion path (fuseOne and everything it feeds — histograms, trace
+	// ring, event ring, governor ledgers), not the capture source.
+	vis, ir, err := s.source.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seq int64
+	frame := func() {
+		s.fuseOne(framePair{vis: vis.Retain(), ir: ir.Retain(), seq: seq})
+		seq++
+	}
+	for i := 0; i < 8; i++ {
+		frame() // warm the op fuser, pool leases and telemetry maps
+	}
+	if avg := testing.AllocsPerRun(100, frame); avg > 2 {
+		t.Fatalf("fusion hot path with observability enabled: %.1f allocs/frame, budget 2", avg)
+	}
+}

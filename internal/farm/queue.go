@@ -34,6 +34,12 @@ type frameQueue struct {
 	cap      int
 	closed   bool
 	dropped  int64
+
+	// onDrop, when set (before the producer starts), observes every dropped
+	// pair's sequence number. It runs under q.mu, so it must only touch
+	// leaf-locked state (the stream's event ring) — never the stream mutex,
+	// which is taken before q.mu on the telemetry path.
+	onDrop func(seq int64)
 }
 
 func newFrameQueue(capacity int) *frameQueue {
@@ -53,10 +59,16 @@ func (q *frameQueue) Push(p framePair) (evicted bool) {
 	defer q.mu.Unlock()
 	if q.closed {
 		q.dropped++
+		if q.onDrop != nil {
+			q.onDrop(p.seq)
+		}
 		p.release() // consumer is gone; return the capture stores
 		return true
 	}
 	if len(q.buf) >= q.cap {
+		if q.onDrop != nil {
+			q.onDrop(q.buf[0].seq)
+		}
 		q.buf[0].release() // evicted pair's frame stores go back to the pool
 		q.buf = q.buf[1:]
 		q.dropped++

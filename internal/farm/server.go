@@ -1,18 +1,24 @@
 package farm
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"net/http"
+	"strconv"
 	"sync"
 
 	"zynqfusion/internal/dvfs"
+	"zynqfusion/internal/obs"
 )
 
 // NewServer returns the fusiond HTTP handler over a farm.
 //
 //	GET    /healthz                   liveness/readiness probe (503 while draining)
 //	GET    /metrics                   full farm Metrics JSON
+//	GET    /metrics?format=prometheus the same snapshot in Prometheus text format
+//	GET    /trace?stream=ID&frames=N  Chrome trace_event JSON (Perfetto-loadable)
+//	GET    /events?stream=ID&n=N      structured event log (drops, misses, denials…)
 //	GET    /dvfs                      PS operating points and governor names
 //	POST   /streams                   submit a stream (StreamConfig JSON body)
 //	GET    /streams                   list stream telemetry
@@ -46,7 +52,55 @@ func NewServer(f *Farm) http.Handler {
 	})
 
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("format") == "prometheus" {
+			// Render to a buffer first so an encoding error (which the
+			// linting encoder treats as a bug) can still become a 500.
+			var buf bytes.Buffer
+			if err := WritePrometheus(&buf, f.Metrics()); err != nil {
+				writeError(w, http.StatusInternalServerError, err.Error())
+				return
+			}
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			w.Write(buf.Bytes())
+			return
+		}
 		writeJSON(w, http.StatusOK, f.Metrics())
+	})
+
+	mux.HandleFunc("GET /trace", func(w http.ResponseWriter, r *http.Request) {
+		frames := 64
+		if v := r.URL.Query().Get("frames"); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, "bad frames: "+v)
+				return
+			}
+			frames = n
+		}
+		views, ok := f.Trace(r.URL.Query().Get("stream"), frames)
+		if !ok {
+			writeError(w, http.StatusNotFound, "no such stream")
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		obs.WriteTrace(w, views)
+	})
+
+	mux.HandleFunc("GET /events", func(w http.ResponseWriter, r *http.Request) {
+		n := 100
+		if v := r.URL.Query().Get("n"); v != "" {
+			parsed, err := strconv.Atoi(v)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, "bad n: "+v)
+				return
+			}
+			n = parsed
+		}
+		evs := f.Events(r.URL.Query().Get("stream"), n)
+		if evs == nil {
+			evs = []obs.Event{}
+		}
+		writeJSON(w, http.StatusOK, evs)
 	})
 
 	mux.HandleFunc("POST /streams", func(w http.ResponseWriter, r *http.Request) {

@@ -10,6 +10,7 @@ import (
 	"zynqfusion/internal/dvfs"
 	"zynqfusion/internal/frame"
 	"zynqfusion/internal/fusion"
+	"zynqfusion/internal/obs"
 	"zynqfusion/internal/pipeline"
 	"zynqfusion/internal/sched"
 	"zynqfusion/internal/sim"
@@ -142,6 +143,12 @@ type opFuser struct {
 	pipe     *pipeline.PipelinedFuser // non-nil when the stream overlaps frames (depth >= 2)
 	lastRows map[string]int64
 	lastTime map[string]sim.Time
+
+	// traceBase maps this executor's private modeled timeline onto the
+	// stream's trace timeline: each run of consecutive frames at this point
+	// is rebased so its first frame starts at the stream's trace head (see
+	// Stream.frameDone). Consumer goroutine only.
+	traceBase sim.Time
 }
 
 // openGate always grants the FPGA; predictor calibration probes use it so
@@ -180,6 +187,23 @@ type Stream struct {
 	stageHeld bool
 	stageFPGA sim.Time // holder's routed FPGA time at acquisition
 
+	// events and trace are the stream's observability sinks; both record
+	// with zero allocations behind leaf locks, so the hot path and foreign
+	// lock holders (the drop callback, the shed hook) can push freely.
+	events *obs.EventRing
+	trace  *obs.TraceRecorder
+
+	// Trace placement state, confined to the consumer goroutine: the frame
+	// being fused, the furthest span end recorded so far (per-track spans
+	// never start a new run before it), and the operating point of the
+	// previous frame — a change emits the op-switch event and arms
+	// traceRebase, telling frameDone to re-anchor the (per-point) executor
+	// timeline at the trace head.
+	traceFrame  int64
+	traceHead   sim.Time
+	traceLastOp string
+	traceRebase bool
+
 	stopOnce sync.Once
 	stopCh   chan struct{}
 	done     chan struct{}
@@ -206,7 +230,24 @@ type Stream struct {
 	snapshot        *frame.Frame
 	err             error
 	running         bool
+
+	// Fixed-bucket distributions recorded per fused frame (under s.mu, so
+	// Telemetry snapshots are consistent). All four share their layouts
+	// with every other stream's, which is what lets the farm aggregate
+	// merge them bucket-for-bucket.
+	latHist    *obs.Histogram // frame latency, modeled ms
+	energyHist *obs.Histogram // energy per frame, modeled mJ
+	queueHist  *obs.Histogram // capture-queue depth at fuse admission
+	slackHist  *obs.Histogram // deadline slack, modeled ms (0 on a miss)
 }
+
+// Histogram layouts, shared by every stream so per-stream summaries merge
+// bucket-for-bucket into the farm aggregate. The ms/mJ layouts span
+// microsecond-scale stages up to hundred-second pathologies at four
+// buckets per decade (~78% bound ratio).
+func newTimeHist() *obs.Histogram   { return obs.NewLogHistogram(1e-3, 1e5, 4) }
+func newEnergyHist() *obs.Histogram { return obs.NewLogHistogram(1e-3, 1e5, 4) }
+func newDepthHist() *obs.Histogram  { return obs.NewLogHistogram(1, 1024, 4) }
 
 // newStream validates the configuration and builds the stream, unstarted.
 // Capacity knobs are checked on the raw config, before defaults fill in,
@@ -214,8 +255,9 @@ type Stream struct {
 // error at Submit instead of silently becoming the default. pool is the
 // stream's budgeted frame-store sub-pool; every capture buffer, transform
 // plane and fused output the stream touches leases from it (nil builds a
-// private unbounded pool).
-func newStream(cfg StreamConfig, gov *Governor, pool *bufpool.Pool) (*Stream, error) {
+// private unbounded pool). ring is the stream's slot in the farm's event
+// log (nil builds a private ring, for tests that drive a bare stream).
+func newStream(cfg StreamConfig, gov *Governor, pool *bufpool.Pool, ring *obs.EventRing) (*Stream, error) {
 	if cfg.QueueCap < 0 {
 		return nil, fmt.Errorf("farm: queue_cap must be non-negative, got %d (zero selects the default depth)", cfg.QueueCap)
 	}
@@ -305,7 +347,20 @@ func newStream(cfg StreamConfig, gov *Governor, pool *bufpool.Pool) (*Stream, er
 		stopCh:     make(chan struct{}),
 		done:       make(chan struct{}),
 		running:    true,
+		latHist:    newTimeHist(),
+		energyHist: newEnergyHist(),
+		queueHist:  newDepthHist(),
+		slackHist:  newTimeHist(),
 	}
+	if ring == nil {
+		ring = obs.NewEventLog(0).Ring(cfg.ID)
+	}
+	s.events = ring
+	s.trace = obs.NewTraceRecorder(cfg.ID, 0)
+	// The drop callback runs under the queue lock; the event ring is a leaf
+	// lock, so pushing there is the only thing it may do (never s.mu, which
+	// is taken before the queue lock on the telemetry path).
+	s.queue.onDrop = func(seq int64) { ring.Push(obs.EventDrop, seq, 0, "") }
 	if dg.Name() == dvfs.PolicyDeadlinePace {
 		if s.predict, err = calibratePredictor(cfg); err != nil {
 			return nil, err
@@ -461,6 +516,7 @@ func (s *Stream) fuserAt(op dvfs.OperatingPoint) *opFuser {
 		pp.SetHooks(pipeline.Hooks{
 			StageStart: func(stg pipeline.Stage, seq int64) { s.stageStart(of, stg) },
 			StageEnd:   func(stg pipeline.Stage, seq int64, d sim.Time) { s.stageEnd(of, stg, d) },
+			FrameDone:  func(seq int64, spans []pipeline.StageSpan) { s.frameDone(of, spans) },
 		})
 		of.pipe = pp
 	}
@@ -512,8 +568,66 @@ func (s *Stream) stageEnd(of *opFuser, stg pipeline.Stage, d sim.Time) {
 	}
 }
 
+// frameDone places a pipelined frame's station spans onto the stream's
+// trace. Each operating point's executor keeps its own modeled timeline
+// starting at zero, so the stream rebases the first frame of every run of
+// consecutive same-point frames to start at the trace head: spans stay
+// monotone per track across DVFS switches while genuine stage overlap
+// within a run is preserved exactly. Runs on the consumer goroutine.
+func (s *Stream) frameDone(of *opFuser, spans []pipeline.StageSpan) {
+	if len(spans) == 0 {
+		return
+	}
+	if s.traceRebase {
+		earliest := spans[0].Start
+		for _, sp := range spans[1:] {
+			if sp.Start < earliest {
+				earliest = sp.Start
+			}
+		}
+		of.traceBase = s.traceHead - earliest
+		s.traceRebase = false
+	}
+	for _, sp := range spans {
+		start, end := sp.Start+of.traceBase, sp.End+of.traceBase
+		s.trace.Span(s.traceFrame, sp.Name, sp.Name, start, end)
+		if end > s.traceHead {
+			s.traceHead = end
+		}
+	}
+}
+
+// traceSequential synthesizes back-to-back stage spans for a frame fused
+// on the sequential executor, which has no pipeline timeline of its own.
+// Runs on the consumer goroutine; zero allocations.
+func (s *Stream) traceSequential(seq int64, st pipeline.StageTimes) {
+	t := s.traceHead
+	stages := [...]struct {
+		name string
+		d    sim.Time
+	}{
+		{"capture", st.Capture}, {"forward", st.Forward}, {"fuse", st.Fuse},
+		{"inverse", st.Inverse}, {"display", st.Display},
+	}
+	for _, sp := range stages {
+		if sp.d <= 0 {
+			continue
+		}
+		s.trace.Span(seq, sp.name, sp.name, t, t+sp.d)
+		t += sp.d
+	}
+	s.traceHead = t
+}
+
+// TraceSpans snapshots the stream's trace ring, keeping the last frames
+// distinct frame numbers (<= 0 keeps everything retained).
+func (s *Stream) TraceSpans(frames int) []obs.TraceSpan {
+	return s.trace.Spans(frames)
+}
+
 // start launches the producer and consumer goroutines.
 func (s *Stream) start() {
+	s.events.Push(obs.EventStreamStart, -1, 0, "")
 	go s.produce()
 	go s.consume()
 }
@@ -574,6 +688,21 @@ func (s *Stream) fuseOne(p framePair) {
 	s.mu.Unlock()
 	if boost > 0 {
 		op = dvfs.Faster(op, boost)
+	}
+	s.traceFrame = p.seq
+	queueDepth := s.queue.Len() // pairs still waiting behind this one
+	if s.traceLastOp != op.Name {
+		// The switch instant lands on the trace before the new run's spans,
+		// and the PS clock counter tracks the staircase. The first frame's
+		// point is a switch too — from nothing — which keeps the counter
+		// track anchored at t=0.
+		if s.traceLastOp != "" {
+			s.events.Push(obs.EventOpSwitch, p.seq, op.MHz(), op.Name)
+		}
+		s.trace.Instant(p.seq, "dvfs", op.Name, s.traceHead)
+		s.trace.Counter(p.seq, "clock_mhz", s.traceHead, op.MHz())
+		s.traceLastOp = op.Name
+		s.traceRebase = true
 	}
 	of := s.fuserAt(op)
 	var fused *frame.Frame
@@ -685,6 +814,21 @@ func (s *Stream) fuseOne(p framePair) {
 	}
 	s.slackTime += slack
 	s.slackEnergy += slackEnergy
+	// Per-frame distributions, recorded with zero allocations. Latency is
+	// the frame's end-to-end span (its period for sequential streams, where
+	// the two coincide); energy is the modeled charge; misses observe zero
+	// slack so the slack distribution covers every deadline frame.
+	lat := st.Latency
+	if lat == 0 {
+		lat = st.Total
+	}
+	s.latHist.Observe(float64(lat) / float64(sim.Millisecond))
+	s.energyHist.Observe(float64(st.Energy) * 1e3) // joules → mJ
+	s.queueHist.Observe(float64(queueDepth))
+	if s.deadline > 0 {
+		s.slackHist.Observe(float64(slack) / float64(sim.Millisecond))
+	}
+	split := s.lastSplit
 	// The stream owns the fused lease until the next frame displaces it —
 	// the display frame store of the capture→fuse→display chain.
 	if s.snapshot != nil {
@@ -692,15 +836,28 @@ func (s *Stream) fuseOne(p framePair) {
 	}
 	s.snapshot = fused
 	s.mu.Unlock()
+
+	if !pipelined {
+		s.traceSequential(p.seq, st)
+	}
+	s.trace.Counter(p.seq, "split_ratio", s.traceHead, split)
+	if missed {
+		s.events.Push(obs.EventDeadlineMiss, p.seq,
+			float64(st.Total-s.deadline)/float64(sim.Millisecond), op.Name)
+	}
 }
 
 // fail records the stream's terminal error and initiates shutdown.
 func (s *Stream) fail(err error) {
 	s.mu.Lock()
-	if s.err == nil {
+	first := s.err == nil
+	if first {
 		s.err = err
 	}
 	s.mu.Unlock()
+	if first {
+		s.events.Push(obs.EventStreamError, -1, 0, err.Error())
+	}
 	s.Stop()
 }
 
@@ -728,6 +885,7 @@ func (s *Stream) finish() {
 	// the drained pool's counters.
 	s.pool.Drain()
 	s.gov.StreamDone(s.cfg.ID)
+	s.events.Push(obs.EventStreamStop, -1, 0, "")
 	close(s.done)
 }
 
@@ -825,6 +983,14 @@ func (s *Stream) Telemetry() StreamTelemetry {
 	if s.pool != nil {
 		ps := s.pool.Stats()
 		t.Pool = &ps
+	}
+	if s.latHist.Count() > 0 {
+		lh, eh, qh := s.latHist.Snapshot(), s.energyHist.Snapshot(), s.queueHist.Snapshot()
+		t.LatencyHist, t.EnergyHist, t.QueueDepthHist = &lh, &eh, &qh
+		if s.deadline > 0 {
+			sh := s.slackHist.Snapshot()
+			t.SlackHist = &sh
+		}
 	}
 	if s.fused > 0 {
 		t.EnergyPerFrame = s.stages.Energy / sim.Joules(s.fused)

@@ -1,0 +1,13 @@
+// Package obs is the observability layer of the reproduction: fixed-bucket
+// log-spaced histograms for latency and energy distributions, a Prometheus
+// text-format encoder, a per-stream Chrome trace_event recorder, and a
+// bounded ring of structured operational events.
+//
+// The package is deliberately zero-dependency (standard library plus
+// internal/sim only) and its recording paths — Histogram.Observe,
+// EventRing.Push, TraceRecorder.Span — perform no heap allocation in
+// steady state, so the farm can instrument its per-frame hot path without
+// perturbing the alloc-regression guard or the modeled charges. Rendering
+// (Prometheus text, trace JSON, event listings) allocates freely; it runs
+// on scrape, not per frame.
+package obs

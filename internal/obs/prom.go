@@ -1,0 +1,180 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Label is one Prometheus label pair.
+type Label struct {
+	K, V string
+}
+
+// Prom encodes metric families in the Prometheus text exposition format
+// (version 0.0.4) with no dependency beyond the standard library. Callers
+// declare a family (HELP/TYPE header) and then emit its samples; the
+// encoder escapes label values, formats floats deterministically, and
+// flags duplicate series and malformed names so the farm's exporter can be
+// linted by construction.
+//
+// Usage:
+//
+//	p := obs.NewProm(w)
+//	p.Family("farm_fused_total", "counter", "Fused frames.")
+//	p.Sample(nil, 12, obs.Label{K: "stream", V: "s1"})
+//	err := p.Flush()
+type Prom struct {
+	w      *bufio.Writer
+	family string
+	seen   map[string]struct{}
+	err    error
+}
+
+// NewProm returns an encoder writing to w.
+func NewProm(w io.Writer) *Prom {
+	return &Prom{w: bufio.NewWriter(w), seen: make(map[string]struct{})}
+}
+
+// Family opens a new metric family, emitting its # HELP and # TYPE lines.
+// typ is one of "counter", "gauge", "histogram", "untyped".
+func (p *Prom) Family(name, typ, help string) {
+	if !validMetricName(name) {
+		p.fail(fmt.Errorf("obs: bad metric name %q", name))
+		return
+	}
+	switch typ {
+	case "counter", "gauge", "histogram", "untyped":
+	default:
+		p.fail(fmt.Errorf("obs: bad metric type %q for %s", typ, name))
+		return
+	}
+	if _, dup := p.seen["#"+name]; dup {
+		p.fail(fmt.Errorf("obs: family %s declared twice", name))
+		return
+	}
+	p.seen["#"+name] = struct{}{}
+	p.family = name
+	fmt.Fprintf(p.w, "# HELP %s %s\n", name, escapeHelp(help))
+	fmt.Fprintf(p.w, "# TYPE %s %s\n", name, typ)
+}
+
+// Sample emits one sample of the open family. suffix is appended to the
+// family name ("" for plain counters and gauges, "_bucket"/"_sum"/"_count"
+// for histogram series).
+func (p *Prom) Sample(suffix string, v float64, labels ...Label) {
+	if p.err != nil {
+		return
+	}
+	if p.family == "" {
+		p.fail(fmt.Errorf("obs: Sample before Family"))
+		return
+	}
+	name := p.family + suffix
+	var b strings.Builder
+	b.WriteString(name)
+	if len(labels) > 0 {
+		b.WriteByte('{')
+		for i, l := range labels {
+			if !validLabelName(l.K) {
+				p.fail(fmt.Errorf("obs: bad label name %q on %s", l.K, name))
+				return
+			}
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(l.K)
+			b.WriteString(`="`)
+			b.WriteString(escapeLabel(l.V))
+			b.WriteByte('"')
+		}
+		b.WriteByte('}')
+	}
+	series := b.String()
+	if _, dup := p.seen[series]; dup {
+		p.fail(fmt.Errorf("obs: duplicate series %s", series))
+		return
+	}
+	p.seen[series] = struct{}{}
+	fmt.Fprintf(p.w, "%s %s\n", series, formatValue(v))
+}
+
+// Histogram emits a Summary as a native Prometheus histogram of the open
+// family: every cumulative bucket, the +Inf bucket, _sum and _count.
+func (p *Prom) Histogram(s Summary, labels ...Label) {
+	le := make([]Label, len(labels)+1)
+	copy(le, labels)
+	for _, b := range s.Buckets {
+		le[len(labels)] = Label{K: "le", V: strconv.FormatFloat(b.LE, 'g', -1, 64)}
+		p.Sample("_bucket", float64(b.N), le...)
+	}
+	le[len(labels)] = Label{K: "le", V: "+Inf"}
+	p.Sample("_bucket", float64(s.Count), le...)
+	p.Sample("_sum", s.Sum, labels...)
+	p.Sample("_count", float64(s.Count), labels...)
+}
+
+// Flush writes out buffered text and reports the first encoding error
+// (malformed name, duplicate series), if any.
+func (p *Prom) Flush() error {
+	if err := p.w.Flush(); err != nil && p.err == nil {
+		p.err = err
+	}
+	return p.err
+}
+
+func (p *Prom) fail(err error) {
+	if p.err == nil {
+		p.err = err
+	}
+}
+
+// formatValue renders a sample value the way Prometheus clients do:
+// shortest round-trip representation, so integers stay integral.
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		alpha := (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || r == '_' || r == ':'
+		if !alpha && (i == 0 || r < '0' || r > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" || strings.HasPrefix(s, "__") {
+		return false
+	}
+	for i, r := range s {
+		alpha := (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || r == '_'
+		if !alpha && (i == 0 || r < '0' || r > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+func escapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(s)
+}

@@ -1,0 +1,190 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+
+	"zynqfusion/internal/sim"
+)
+
+// SpanKind distinguishes the trace_event phases the recorder can hold.
+type SpanKind uint8
+
+const (
+	// SpanComplete is a duration span (Chrome phase "X").
+	SpanComplete SpanKind = iota
+	// SpanCounter is a sampled counter value (phase "C").
+	SpanCounter
+	// SpanInstant is a point event (phase "i").
+	SpanInstant
+)
+
+// TraceSpan is one recorded trace entry on a process's modeled timeline.
+type TraceSpan struct {
+	// Frame is the frame sequence number the entry belongs to (for the
+	// /trace?frames=N trim).
+	Frame int64
+	// Track names the thread-like lane inside the process ("forward-vis",
+	// "fuse", "lease", …).
+	Track string
+	// Name labels the span itself (stage name, operating point, holder).
+	Name string
+	// Start and End delimit the span on the recorder's modeled timeline;
+	// counters and instants use Start only.
+	Start, End sim.Time
+	Kind       SpanKind
+	// Value carries a counter sample.
+	Value float64
+}
+
+// TraceRecorder is a bounded ring of trace entries for one process (one
+// farm stream, or the governor's lease timeline). Recording overwrites the
+// oldest entry once the ring is full and never allocates, so a stream can
+// trace every frame indefinitely at a fixed memory cost. Safe for
+// concurrent use.
+type TraceRecorder struct {
+	process string
+
+	mu    sync.Mutex
+	ring  []TraceSpan
+	next  int
+	total int64
+}
+
+// DefaultTraceSpans is the per-recorder ring capacity when the caller
+// passes 0: roughly 250 pipelined frames of stage spans.
+const DefaultTraceSpans = 2048
+
+// NewTraceRecorder builds a recorder for the named process with a ring of
+// capSpans entries (0 selects DefaultTraceSpans).
+func NewTraceRecorder(process string, capSpans int) *TraceRecorder {
+	if capSpans <= 0 {
+		capSpans = DefaultTraceSpans
+	}
+	return &TraceRecorder{process: process, ring: make([]TraceSpan, capSpans)}
+}
+
+// Process returns the recorder's process name.
+func (r *TraceRecorder) Process() string { return r.process }
+
+func (r *TraceRecorder) push(s TraceSpan) {
+	r.mu.Lock()
+	r.ring[r.next] = s
+	r.next = (r.next + 1) % len(r.ring)
+	r.total++
+	r.mu.Unlock()
+}
+
+// Span records a completed duration span. Zero allocations.
+func (r *TraceRecorder) Span(frame int64, track, name string, start, end sim.Time) {
+	r.push(TraceSpan{Frame: frame, Track: track, Name: name, Start: start, End: end})
+}
+
+// Counter records a sampled counter value at a point in time.
+func (r *TraceRecorder) Counter(frame int64, track string, at sim.Time, v float64) {
+	r.push(TraceSpan{Frame: frame, Track: track, Name: track, Start: at, Kind: SpanCounter, Value: v})
+}
+
+// Instant records a point event (an operating-point switch, say).
+func (r *TraceRecorder) Instant(frame int64, track, name string, at sim.Time) {
+	r.push(TraceSpan{Frame: frame, Track: track, Name: name, Start: at, Kind: SpanInstant})
+}
+
+// Spans snapshots the ring in recording order, keeping only entries of the
+// last lastFrames distinct frame numbers (<= 0 keeps everything retained).
+func (r *TraceRecorder) Spans(lastFrames int) []TraceSpan {
+	r.mu.Lock()
+	var out []TraceSpan
+	if r.total <= int64(len(r.ring)) {
+		out = append(out, r.ring[:r.next]...)
+	} else {
+		out = append(out, r.ring[r.next:]...)
+		out = append(out, r.ring[:r.next]...)
+	}
+	r.mu.Unlock()
+	if lastFrames > 0 && len(out) > 0 {
+		// Frame numbers are non-decreasing in recording order.
+		cut := out[len(out)-1].Frame - int64(lastFrames) + 1
+		lo := 0
+		for lo < len(out) && out[lo].Frame < cut {
+			lo++
+		}
+		out = out[lo:]
+	}
+	return out
+}
+
+// TraceView is one process's contribution to an exported trace.
+type TraceView struct {
+	Process string
+	Spans   []TraceSpan
+}
+
+// traceEvent is one Chrome trace_event JSON object. Timestamps and
+// durations are microseconds, the trace-viewer convention.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type traceFile struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+func toMicros(t sim.Time) float64 { return float64(t) / float64(sim.Microsecond) }
+
+// WriteTrace renders the views as Chrome trace_event JSON (the "JSON
+// object" container format), loadable in Perfetto or chrome://tracing.
+// Each view becomes one process; each track one named thread. Processes
+// and threads are numbered in view order so identical inputs produce
+// identical bytes.
+func WriteTrace(w io.Writer, views []TraceView) error {
+	var f traceFile
+	f.DisplayTimeUnit = "ms"
+	for vi, v := range views {
+		pid := vi + 1
+		f.TraceEvents = append(f.TraceEvents, traceEvent{
+			Name: "process_name", Ph: "M", Pid: pid, Tid: 0,
+			Args: map[string]any{"name": v.Process},
+		})
+		tids := make(map[string]int)
+		for _, s := range v.Spans {
+			tid, ok := tids[s.Track]
+			if !ok {
+				tid = len(tids) + 1
+				tids[s.Track] = tid
+				f.TraceEvents = append(f.TraceEvents, traceEvent{
+					Name: "thread_name", Ph: "M", Pid: pid, Tid: tid,
+					Args: map[string]any{"name": s.Track},
+				})
+			}
+			ev := traceEvent{Name: s.Name, Pid: pid, Tid: tid, TS: toMicros(s.Start)}
+			switch s.Kind {
+			case SpanComplete:
+				ev.Ph = "X"
+				ev.Cat = "stage"
+				ev.Dur = toMicros(s.End - s.Start)
+				ev.Args = map[string]any{"frame": s.Frame}
+			case SpanCounter:
+				ev.Ph = "C"
+				ev.Args = map[string]any{"value": s.Value}
+			case SpanInstant:
+				ev.Ph = "i"
+				ev.S = "t"
+				ev.Args = map[string]any{"frame": s.Frame}
+			}
+			f.TraceEvents = append(f.TraceEvents, ev)
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(f)
+}

@@ -127,12 +127,31 @@ func sequentialStageNames(includeIO bool) []string {
 // them to hold the shared-FPGA lease per stage instead of per frame: it
 // acquires around the wavelet stations and releases across the CPU-only
 // ones, so stages of different streams' frames interleave on the one
-// modeled wave engine. Both hooks run synchronously on the fusing
+// modeled wave engine. All hooks run synchronously on the fusing
 // goroutine. StageEnd always fires for a started stage, even when the
 // stage errors, so a hook that acquired a resource can release it.
+//
+// FrameDone fires once per completed frame with the frame's stations
+// *placed* on the executor's modeled pipeline timeline — the exact spans
+// the period/latency accounting is derived from, which is what a trace
+// exporter needs (stage k of frame n+1 genuinely overlapping stage k+1 of
+// frame n). The spans slice is reused between frames: it is valid only
+// during the call and must be copied to be retained.
 type Hooks struct {
 	StageStart func(s Stage, frame int64)
 	StageEnd   func(s Stage, frame int64, d sim.Time)
+	FrameDone  func(frame int64, spans []StageSpan)
+}
+
+// StageSpan is one station's placed occupation on the pipelined executor's
+// modeled timeline.
+type StageSpan struct {
+	// Name is the station name ("capture", "forward-vis", …).
+	Name string
+	// Start and End delimit the station's span; spans on the same station
+	// never overlap across frames, and within a frame stations run in
+	// graph order.
+	Start, End sim.Time
 }
 
 // stageAware mirrors sched.StageAware structurally (pipeline does not
@@ -205,8 +224,9 @@ type PipelinedFuser struct {
 
 	// Per-call scratch reused frame over frame, keeping the steady-state
 	// hot path allocation-free.
-	job  frameJob
-	durs []sim.Time
+	job   frameJob
+	durs  []sim.Time
+	spans []StageSpan
 }
 
 // NewPipelined wraps a Fuser in the inter-frame pipelined executor with
@@ -236,6 +256,7 @@ func NewPipelined(f *Fuser, depth int) (*PipelinedFuser, error) {
 	p.avail = make([]sim.Time, len(p.stages))
 	p.ring = make([]sim.Time, depth)
 	p.durs = make([]sim.Time, len(p.stages))
+	p.spans = make([]StageSpan, len(p.stages))
 	for _, s := range p.stages {
 		p.order = append(p.order, s.Name)
 	}
@@ -391,6 +412,7 @@ func (p *PipelinedFuser) advance(st *StageTimes, durs []sim.Time, activeE sim.Jo
 		if p.avail[i] > t {
 			t = p.avail[i]
 		}
+		p.spans[i] = StageSpan{Name: p.stages[i].Name, Start: t, End: t + d}
 		t += d
 		p.avail[i] = t
 		busy += d
@@ -401,6 +423,7 @@ func (p *PipelinedFuser) advance(st *StageTimes, durs []sim.Time, activeE sim.Jo
 	if p.seq == 0 {
 		p.fill = t
 	}
+	frameSeq := p.seq
 	p.seq++
 
 	st.Total = period
@@ -415,6 +438,9 @@ func (p *PipelinedFuser) advance(st *StageTimes, durs []sim.Time, activeE sim.Jo
 	// (period beyond this frame's own busy time) idles the board and is
 	// charged at the same quiescent draw, keeping the ledger conservative.
 	st.Energy = activeE + sim.EnergyOver(power.Idle, period-busy)
+	if p.hooks.FrameDone != nil {
+		p.hooks.FrameDone(frameSeq, p.spans)
+	}
 }
 
 // recordSequential folds a delegated depth-1 frame into the cumulative

@@ -7,6 +7,7 @@
 //
 //	fusiond -addr :8080
 //	fusiond -addr :8080 -budget-mw 2200 -streams 4 -pool-stream-mb 8
+//	fusiond -addr :8080 -slo rules.json
 //
 // API:
 //
@@ -14,6 +15,9 @@
 //	GET    /metrics                  (?format=prometheus for text exposition)
 //	GET    /trace?stream=ID&frames=N Chrome trace_event JSON
 //	GET    /events?stream=ID&n=N     structured event log
+//	GET    /events?since=SEQ&n=N     cursor pagination ({"events":…,"next_seq":N})
+//	GET    /slo                      SLO status: health scores, budgets, burn rates
+//	GET    /alerts                   active burn-rate alerts + recent fire/clear events
 //	GET    /dvfs
 //	POST   /streams        {"w":88,"h":72,"seed":1,"engine":"adaptive","frames":0,
 //	                        "deadline_ms":120,"dvfs_policy":"deadline-pace"}
@@ -40,6 +44,7 @@ import (
 	"zynqfusion/internal/bufpool"
 	"zynqfusion/internal/farm"
 	"zynqfusion/internal/sim"
+	"zynqfusion/internal/slo"
 )
 
 // options carries the daemon's flag-settable configuration.
@@ -50,12 +55,21 @@ type options struct {
 	poolCapMB    float64 // frame-store arena ceiling in MB (0 = unbounded)
 	poolStreamMB float64 // per-stream sub-pool ceiling in MB (0 = unbounded)
 	pprof        bool    // expose net/http/pprof under /debug/pprof/
+	sloPath      string  // SLO rules file (JSON); empty disables the SLO engine
 }
 
 // newDaemon builds the farm and its HTTP handler from the options: the
 // whole service except the listener, so tests can drive the handler
 // directly. The caller owns the returned farm and must Close it.
 func newDaemon(opt options) (*farm.Farm, http.Handler, error) {
+	var rules *slo.Rules
+	if opt.sloPath != "" {
+		r, err := slo.LoadRules(opt.sloPath)
+		if err != nil {
+			return nil, nil, fmt.Errorf("slo rules: %w", err)
+		}
+		rules = r
+	}
 	fm := farm.New(farm.Config{
 		PowerBudget:     sim.Watts(opt.budgetMW / 1e3),
 		DefaultQueueCap: opt.queueCap,
@@ -63,6 +77,7 @@ func newDaemon(opt options) (*farm.Farm, http.Handler, error) {
 			CapBytes:  int64(opt.poolCapMB * (1 << 20)),
 			PerStream: int64(opt.poolStreamMB * (1 << 20)),
 		},
+		SLO: rules,
 	})
 	for i := 0; i < opt.streams; i++ {
 		if _, err := fm.Submit(farm.StreamConfig{Seed: int64(i + 1)}); err != nil {
@@ -117,6 +132,7 @@ func main() {
 	flag.Float64Var(&opt.poolCapMB, "pool-cap-mb", 0, "frame-store arena ceiling in MB across all streams (0 = unbounded)")
 	flag.Float64Var(&opt.poolStreamMB, "pool-stream-mb", 0, "per-stream frame-store budget in MB (0 = unbounded)")
 	flag.BoolVar(&opt.pprof, "pprof", false, "expose Go profiling endpoints under /debug/pprof/ (off by default)")
+	flag.StringVar(&opt.sloPath, "slo", "", "SLO rules file (JSON); enables burn-rate alerting, degradation and admission control")
 	flag.Parse()
 
 	fm, handler, err := newDaemon(opt)

@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -178,5 +180,68 @@ func TestPprofGate(t *testing.T) {
 	}
 	if code := get(handler2, "/healthz"); code != http.StatusOK {
 		t.Fatalf("farm endpoints lost behind the pprof mux: status %d", code)
+	}
+}
+
+// TestSLOFlag: -slo loads the rules file at boot, wires the engine into
+// the farm (visible through /slo), and rejects an unreadable or invalid
+// file before the daemon comes up.
+func TestSLOFlag(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "rules.json")
+	rules := `{
+		"window_scale": 0.001,
+		"default": {"p99_latency_ms": 1000},
+		"streams": {"cam0": {"p99_latency_ms": 500}}
+	}`
+	if err := os.WriteFile(path, []byte(rules), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	fm, handler, err := newDaemon(options{queueCap: 4, sloPath: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fm.Close()
+
+	body := strings.NewReader(`{"id":"cam0","w":32,"h":24,"seed":1,"frames":2}`)
+	rec := httptest.NewRecorder()
+	handler.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/streams", body))
+	if rec.Code != http.StatusCreated {
+		t.Fatalf("submit status %d: %s", rec.Code, rec.Body.String())
+	}
+	fm.Wait()
+
+	rec = httptest.NewRecorder()
+	handler.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/slo", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/slo status %d", rec.Code)
+	}
+	var got struct {
+		Farm    *farm.SLOTelemetry `json:"farm"`
+		Streams []struct {
+			ID string `json:"id"`
+		} `json:"streams"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
+		t.Fatalf("/slo JSON: %v", err)
+	}
+	if got.Farm == nil || got.Farm.StreamsWithSLO != 1 {
+		t.Fatalf("/slo farm rollup: %+v", got.Farm)
+	}
+	if len(got.Streams) != 1 || got.Streams[0].ID != "cam0" {
+		t.Fatalf("/slo streams: %+v", got.Streams)
+	}
+
+	// A missing file and a bad file both fail boot with a diagnosable error.
+	if _, _, err := newDaemon(options{sloPath: filepath.Join(dir, "missing.json")}); err == nil {
+		t.Error("missing rules file accepted")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"default": {"p99_latency_ms": -1}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := newDaemon(options{sloPath: bad}); err == nil {
+		t.Error("invalid rules file accepted")
 	}
 }

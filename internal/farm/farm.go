@@ -6,10 +6,12 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"zynqfusion/internal/bufpool"
 	"zynqfusion/internal/obs"
 	"zynqfusion/internal/sim"
+	"zynqfusion/internal/slo"
 )
 
 // Sentinel submission errors, matchable with errors.Is.
@@ -18,6 +20,11 @@ var (
 	ErrClosed = errors.New("farm: closed")
 	// ErrDuplicate reports a Submit reusing a live stream id.
 	ErrDuplicate = errors.New("farm: duplicate stream id")
+	// ErrSLOBurning reports a Submit refused by SLO admission control:
+	// some stream's page alert is active, and admitting more work while
+	// the error budget burns would dilute the remaining budget across
+	// more streams. Served as 503 so clients retry elsewhere or later.
+	ErrSLOBurning = errors.New("farm: admission refused, error budget burning")
 )
 
 // Config configures a Farm.
@@ -36,6 +43,12 @@ type Config struct {
 	// descriptive ErrOverCap instead of growing, so fusiond gets a
 	// deterministic, configurable memory ceiling.
 	BufferPool bufpool.Budget `json:"buffer_pool"`
+	// SLO is the farm's service-level-objective rule set (nil disables
+	// the SLO engine for streams that do not declare their own). When
+	// set, stream objectives resolve against it at Submit, burning
+	// streams are degraded by the closed-loop controller, and new-stream
+	// admission is refused while any page alert is active.
+	SLO *slo.Rules `json:"slo,omitempty"`
 }
 
 // Farm runs many fusion streams over per-worker pipelines and a shared
@@ -45,6 +58,10 @@ type Farm struct {
 	gov    *Governor
 	pool   *bufpool.Pool // shared frame-store arena; streams get sub-pools
 	events *obs.EventLog // per-stream structured event rings
+
+	// admissionRefused counts submissions refused by SLO admission
+	// control.
+	admissionRefused atomic.Int64
 
 	mu      sync.Mutex
 	streams map[string]*Stream
@@ -92,6 +109,15 @@ func (f *Farm) Pool() *bufpool.Pool { return f.pool }
 // never stalls metrics reads or other submissions; the id is reserved
 // while it builds.
 func (f *Farm) Submit(cfg StreamConfig) (*Stream, error) {
+	// SLO admission control runs first (it reads the stream list, so it
+	// cannot hold f.mu): while any stream's page alert burns, the farm
+	// sheds new work instead of spreading the remaining budget thinner.
+	// The refusal is recorded on the synthetic "farm" event ring.
+	if f.cfg.SLO != nil && !f.cfg.SLO.NoAdmissionControl && f.SLOBurning() {
+		f.admissionRefused.Add(1)
+		f.events.Ring("farm").Push(obs.EventAdmissionRefused, -1, 0, cfg.ID)
+		return nil, ErrSLOBurning
+	}
 	f.mu.Lock()
 	if f.closed {
 		f.mu.Unlock()
@@ -126,7 +152,7 @@ func (f *Farm) Submit(cfg StreamConfig) (*Stream, error) {
 	sub.SetShedHook(func(planeBytes int64) {
 		ring.Push(obs.EventPoolShed, -1, float64(planeBytes), "")
 	})
-	s, err := newStream(cfg, f.gov, sub, ring)
+	s, err := newStream(cfg, f.gov, sub, ring, f.cfg.SLO)
 
 	f.mu.Lock()
 	delete(f.pending, cfg.ID)
@@ -216,6 +242,24 @@ func (f *Farm) Closed() bool {
 // streams in farm-wide order otherwise.
 func (f *Farm) Events(stream string, n int) []obs.Event {
 	return f.events.Events(stream, n)
+}
+
+// EventsSince returns up to n of the *oldest* retained events with
+// Seq > since, plus the cursor for the next poll — the forward
+// pagination behind /events?since=N.
+func (f *Farm) EventsSince(stream string, since uint64, n int) ([]obs.Event, uint64) {
+	return f.events.EventsSince(stream, since, n)
+}
+
+// SLOBurning reports whether any stream's page-severity SLO alert is
+// currently firing.
+func (f *Farm) SLOBurning() bool {
+	for _, s := range f.List() {
+		if s.PageActive() {
+			return true
+		}
+	}
+	return false
 }
 
 // Trace assembles the farm's Chrome-trace view: one process per stream
@@ -308,7 +352,54 @@ func (f *Farm) Metrics() Metrics {
 		Aggregate: agg,
 		Governor:  gov,
 		Memory:    f.memoryTelemetry(),
+		SLO:       f.sloRollup(teles),
 	}
+}
+
+// sloRollup folds the per-stream SLO snapshots into the farm-wide view:
+// fused-frame-weighted health, active alert counts, and the admission
+// ledger. Nil when the SLO engine is entirely unconfigured.
+func (f *Farm) sloRollup(teles []StreamTelemetry) *SLOTelemetry {
+	r := SLOTelemetry{Health: 100, AdmissionRefused: f.admissionRefused.Load()}
+	var weighted float64
+	var weight int64
+	for _, t := range teles {
+		if t.SLO == nil {
+			continue
+		}
+		r.StreamsWithSLO++
+		w := t.Fused
+		if w < 1 {
+			w = 1 // a stream that has not fused yet still counts
+		}
+		weighted += t.SLO.Health * float64(w)
+		weight += w
+		for _, si := range t.SLO.SLIs {
+			for _, al := range si.Alerts {
+				if !al.Active {
+					continue
+				}
+				if al.Severity == slo.SevPage {
+					r.ActivePageAlerts++
+				} else {
+					r.ActiveTicketAlerts++
+				}
+			}
+		}
+		if t.Degradation != nil {
+			for _, n := range t.Degradation.Actions {
+				r.DegradeActions += n
+			}
+		}
+	}
+	if f.cfg.SLO == nil && r.StreamsWithSLO == 0 {
+		return nil
+	}
+	if weight > 0 {
+		r.Health = weighted / float64(weight)
+	}
+	r.Burning = r.ActivePageAlerts > 0
+	return &r
 }
 
 // memoryTelemetry samples the Go runtime and the frame-store arena, so

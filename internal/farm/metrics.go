@@ -5,6 +5,7 @@ import (
 	"zynqfusion/internal/obs"
 	"zynqfusion/internal/pipeline"
 	"zynqfusion/internal/sim"
+	"zynqfusion/internal/slo"
 )
 
 // StageTimesJSON is the JSON shape of a pipeline.StageTimes record:
@@ -163,6 +164,13 @@ type StreamTelemetry struct {
 	QueueDepthHist *obs.Summary `json:"queue_depth_hist,omitempty"`
 	SlackHist      *obs.Summary `json:"slack_hist,omitempty"`
 
+	// SLO is the stream's service-level-objective snapshot — health
+	// score, per-SLI budgets, window burn rates and alert states — and
+	// Degradation the closed-loop controller's current posture. Both nil
+	// for streams without declared objectives.
+	SLO         *slo.Status           `json:"slo,omitempty"`
+	Degradation *DegradationTelemetry `json:"degradation,omitempty"`
+
 	// Pool is the stream's budgeted frame-store sub-pool telemetry: hit
 	// rate, outstanding leases, high-water footprint. Nil for streams
 	// predating the pool (never in practice).
@@ -206,6 +214,44 @@ type AggregateTelemetry struct {
 	EnergyHist  *obs.Summary `json:"energy_hist,omitempty"`
 }
 
+// DegradationTelemetry is one stream's degradation-controller posture.
+type DegradationTelemetry struct {
+	// Stage is the number of ladder rungs currently applied.
+	Stage int `json:"stage"`
+	// DepthDemotions, DVFSDownclock, QueueCap and ShedEvery are the
+	// concrete levers as they stand: pipeline-depth steps below the
+	// configured depth, operating-point steps below the governor's pick,
+	// the live capture-queue bound, and the shed modulus (0/1 = off).
+	DepthDemotions int `json:"depth_demotions,omitempty"`
+	DVFSDownclock  int `json:"dvfs_downclock,omitempty"`
+	QueueCap       int `json:"queue_cap"`
+	ShedEvery      int `json:"shed_every,omitempty"`
+	// ShedDropped counts frames dropped by the shed rung.
+	ShedDropped int64 `json:"shed_dropped,omitempty"`
+	// Actions counts every controller decision, keyed
+	// "degrade:<action>" / "restore:<action>".
+	Actions map[string]int64 `json:"actions,omitempty"`
+}
+
+// SLOTelemetry is the farm-wide SLO rollup.
+type SLOTelemetry struct {
+	// Health is the fused-frame-weighted mean of the per-stream health
+	// scores (100 when no stream declares objectives yet).
+	Health float64 `json:"health"`
+	// Burning reports an active page alert anywhere in the farm — while
+	// true, new-stream admission is refused (unless disabled by rules).
+	Burning        bool `json:"burning"`
+	StreamsWithSLO int  `json:"streams_with_slo"`
+	// ActivePageAlerts and ActiveTicketAlerts count firing (stream, SLI)
+	// alert pairs by severity.
+	ActivePageAlerts   int `json:"active_page_alerts"`
+	ActiveTicketAlerts int `json:"active_ticket_alerts"`
+	// AdmissionRefused counts submissions refused while burning.
+	AdmissionRefused int64 `json:"admission_refused_total"`
+	// DegradeActions totals controller decisions across all streams.
+	DegradeActions int64 `json:"degrade_actions_total"`
+}
+
 // MemoryTelemetry is the farm's runtime-memory snapshot: Go heap and GC
 // figures next to the frame-store arena's ledger, so the zero-copy win is
 // visible to operators (near-flat Mallocs and GC cycles under load once
@@ -231,4 +277,7 @@ type Metrics struct {
 	Aggregate AggregateTelemetry `json:"aggregate"`
 	Governor  GovernorStats      `json:"governor"`
 	Memory    MemoryTelemetry    `json:"memory"`
+	// SLO is the farm-wide SLO rollup; nil when neither the farm config
+	// nor any stream declares objectives.
+	SLO *SLOTelemetry `json:"slo,omitempty"`
 }

@@ -604,7 +604,7 @@ func TestAllocGuardFarmObservability(t *testing.T) {
 		ID: "alloc", Engine: "adaptive", Seed: 3,
 		W: 32, H: 24, Frames: 1, DeadlineMS: 1000,
 	}
-	s, err := newStream(cfg, NewGovernor(0), nil, nil)
+	s, err := newStream(cfg, NewGovernor(0), nil, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -66,7 +66,7 @@ func TestProbePipelinePeriodMatchesMeasured(t *testing.T) {
 			t.Fatal(err)
 		}
 		// Measure the same uncontended configuration the slow way.
-		s, err := newStream(cfg.withDefaults(), NewGovernor(0), nil, nil)
+		s, err := newStream(cfg.withDefaults(), NewGovernor(0), nil, nil, nil)
 		if err != nil {
 			t.Fatal(err)
 		}

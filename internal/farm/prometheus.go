@@ -2,10 +2,26 @@ package farm
 
 import (
 	"io"
+	"runtime"
+	"runtime/debug"
 	"sort"
+	"sync"
+	"time"
 
 	"zynqfusion/internal/obs"
 )
+
+// buildVersion resolves the module version stamped into the binary once;
+// "(devel)" and unstamped test binaries both normalize to "devel" so the
+// label is never empty (empty label values are legal but useless).
+var buildVersion = sync.OnceValue(func() string {
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		if v := bi.Main.Version; v != "" && v != "(devel)" {
+			return v
+		}
+	}
+	return "devel"
+})
 
 // WritePrometheus renders a Metrics snapshot in the Prometheus text
 // exposition format (version 0.0.4). Every family is declared once with
@@ -15,8 +31,14 @@ import (
 // is linted by construction. Histogram families carry the same cumulative
 // buckets as the JSON summaries plus the +Inf bucket, _sum and _count.
 func WritePrometheus(w io.Writer, m Metrics) error {
+	start := time.Now()
 	p := obs.NewProm(w)
 	sl := func(id string) obs.Label { return obs.Label{K: "stream", V: id} }
+
+	p.Family("farm_build_info", "gauge", "Build metadata; value is always 1.")
+	p.Sample("", 1,
+		obs.Label{K: "version", V: buildVersion()},
+		obs.Label{K: "goversion", V: runtime.Version()})
 
 	counter := func(name, help string, get func(t StreamTelemetry) float64) {
 		p.Family(name, "counter", help)
@@ -210,7 +232,108 @@ func WritePrometheus(w io.Writer, m Metrics) error {
 	p.Family("farm_gc_pause_ns_total", "counter", "Cumulative GC stop-the-world pause.")
 	p.Sample("", float64(mem.GCPauseTotalNS))
 
+	// SLO engine. Farm families appear once rules or per-stream SLOs
+	// exist; per-stream families are lazily declared over SLO-carrying
+	// streams only, mirroring the histogram convention above.
+	if m.SLO != nil {
+		s := m.SLO
+		p.Family("farm_slo_health", "gauge", "Farm composite health score, 0-100.")
+		p.Sample("", s.Health)
+		p.Family("farm_slo_burning", "gauge", "1 while any stream has an active page-severity burn alert.")
+		p.Sample("", b2f(s.Burning))
+		p.Family("farm_slo_streams", "gauge", "Streams with an SLO declaration.")
+		p.Sample("", float64(s.StreamsWithSLO))
+		p.Family("farm_slo_admission_refused_total", "counter", "Stream submissions refused while the farm budget was burning.")
+		p.Sample("", float64(s.AdmissionRefused))
+		p.Family("farm_slo_degrade_actions_total", "counter", "Degradation ladder actions applied across the farm.")
+		p.Sample("", float64(s.DegradeActions))
+
+		sloFamily := func(name, typ, help string, emit func(t StreamTelemetry)) {
+			declared := false
+			for _, t := range m.Streams {
+				if t.SLO == nil {
+					continue
+				}
+				if !declared {
+					p.Family(name, typ, help)
+					declared = true
+				}
+				emit(t)
+			}
+		}
+		sloFamily("farm_slo_stream_health", "gauge", "Per-stream composite health score, 0-100.",
+			func(t StreamTelemetry) { p.Sample("", t.SLO.Health, sl(t.ID)) })
+		sloFamily("farm_slo_stream_budget_remaining", "gauge", "Cumulative error-budget fraction remaining per SLI (can go negative).",
+			func(t StreamTelemetry) {
+				for _, si := range t.SLO.SLIs {
+					p.Sample("", si.BudgetRemaining, sl(t.ID), obs.Label{K: "sli", V: si.Name})
+				}
+			})
+		sloFamily("farm_slo_stream_good_ratio", "gauge", "Cumulative good-event fraction per SLI.",
+			func(t StreamTelemetry) {
+				for _, si := range t.SLO.SLIs {
+					p.Sample("", si.GoodRatio, sl(t.ID), obs.Label{K: "sli", V: si.Name})
+				}
+			})
+		sloFamily("farm_slo_stream_burn_rate", "gauge", "Error-budget burn rate per SLI sliding window.",
+			func(t StreamTelemetry) {
+				for _, si := range t.SLO.SLIs {
+					for _, win := range si.Windows {
+						p.Sample("", win.Burn, sl(t.ID),
+							obs.Label{K: "sli", V: si.Name},
+							obs.Label{K: "window", V: win.Window})
+					}
+				}
+			})
+		sloFamily("farm_slo_stream_alerts_fired_total", "counter", "Burn-rate alert activations per SLI and severity.",
+			func(t StreamTelemetry) {
+				for _, si := range t.SLO.SLIs {
+					for _, al := range si.Alerts {
+						p.Sample("", float64(al.Fired), sl(t.ID),
+							obs.Label{K: "sli", V: si.Name},
+							obs.Label{K: "severity", V: al.Severity})
+					}
+				}
+			})
+		sloFamily("farm_alert_active", "gauge", "1 while the burn-rate alert is firing.",
+			func(t StreamTelemetry) {
+				for _, si := range t.SLO.SLIs {
+					for _, al := range si.Alerts {
+						p.Sample("", b2f(al.Active), sl(t.ID),
+							obs.Label{K: "sli", V: si.Name},
+							obs.Label{K: "severity", V: al.Severity})
+					}
+				}
+			})
+		sloFamily("farm_slo_stream_degrade_stage", "gauge", "Depth of the stream's applied degradation ladder.",
+			func(t StreamTelemetry) {
+				if t.Degradation != nil {
+					p.Sample("", float64(t.Degradation.Stage), sl(t.ID))
+				}
+			})
+		sloFamily("farm_slo_stream_degrade_actions_total", "counter", "Degradation actions applied, by ladder action.",
+			func(t StreamTelemetry) {
+				if t.Degradation == nil {
+					return
+				}
+				for _, k := range sortedKeys(t.Degradation.Actions) {
+					p.Sample("", float64(t.Degradation.Actions[k]), sl(t.ID), obs.Label{K: "action", V: k})
+				}
+			})
+	}
+
+	// Sampled last so it covers the cost of encoding everything above.
+	p.Family("farm_scrape_duration_seconds", "gauge", "Wall time spent rendering this exposition.")
+	p.Sample("", time.Since(start).Seconds())
+
 	return p.Flush()
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // sortedKeys returns a map's keys in sorted order, for deterministic

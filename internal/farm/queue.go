@@ -102,6 +102,34 @@ func (q *frameQueue) Close() {
 	q.mu.Unlock()
 }
 
+// Cap reports the current capacity bound.
+func (q *frameQueue) Cap() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.cap
+}
+
+// SetCap rebounds the queue at runtime (floored at 1) — the SLO
+// degradation controller's queue-shrink rung. Shrinking below the
+// current depth evicts the oldest pairs immediately, drop-oldest style,
+// so stale backlog stops inflating latency the moment the bound moves.
+func (q *frameQueue) SetCap(n int) {
+	if n < 1 {
+		n = 1
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.cap = n
+	for len(q.buf) > q.cap {
+		if q.onDrop != nil {
+			q.onDrop(q.buf[0].seq)
+		}
+		q.buf[0].release()
+		q.buf = q.buf[1:]
+		q.dropped++
+	}
+}
+
 // Len reports the current depth.
 func (q *frameQueue) Len() int {
 	q.mu.Lock()

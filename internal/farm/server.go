@@ -10,6 +10,8 @@ import (
 
 	"zynqfusion/internal/dvfs"
 	"zynqfusion/internal/obs"
+	"zynqfusion/internal/sim"
+	"zynqfusion/internal/slo"
 )
 
 // NewServer returns the fusiond HTTP handler over a farm.
@@ -19,6 +21,10 @@ import (
 //	GET    /metrics?format=prometheus the same snapshot in Prometheus text format
 //	GET    /trace?stream=ID&frames=N  Chrome trace_event JSON (Perfetto-loadable)
 //	GET    /events?stream=ID&n=N      structured event log (drops, misses, denials…)
+//	GET    /events?since=SEQ&n=N      cursor pagination: oldest events after SEQ,
+//	                                  wrapped as {"events": […], "next_seq": N}
+//	GET    /slo                       per-stream SLO status + farm rollup
+//	GET    /alerts                    active burn-rate alerts + recent alert events
 //	GET    /dvfs                      PS operating points and governor names
 //	POST   /streams                   submit a stream (StreamConfig JSON body)
 //	GET    /streams                   list stream telemetry
@@ -96,11 +102,101 @@ func NewServer(f *Farm) http.Handler {
 			}
 			n = parsed
 		}
+		// With ?since=SEQ the endpoint switches to forward pagination:
+		// the n *oldest* retained events after the cursor, plus the next
+		// cursor, so a poller walking next_seq never drops or double-reads
+		// an event between scrapes. Without it, the classic "n most
+		// recent" bare array is preserved for dashboards.
+		if v := r.URL.Query().Get("since"); v != "" {
+			since, err := strconv.ParseUint(v, 10, 64)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, "bad since: "+v)
+				return
+			}
+			evs, next := f.EventsSince(r.URL.Query().Get("stream"), since, n)
+			if evs == nil {
+				evs = []obs.Event{}
+			}
+			writeJSON(w, http.StatusOK, struct {
+				Events  []obs.Event `json:"events"`
+				NextSeq uint64      `json:"next_seq"`
+			}{evs, next})
+			return
+		}
 		evs := f.Events(r.URL.Query().Get("stream"), n)
 		if evs == nil {
 			evs = []obs.Event{}
 		}
 		writeJSON(w, http.StatusOK, evs)
+	})
+
+	mux.HandleFunc("GET /slo", func(w http.ResponseWriter, r *http.Request) {
+		m := f.Metrics()
+		type streamSLO struct {
+			ID          string                `json:"id"`
+			SLO         *slo.Status           `json:"slo"`
+			Degradation *DegradationTelemetry `json:"degradation,omitempty"`
+		}
+		out := struct {
+			Farm    *SLOTelemetry `json:"farm"`
+			Streams []streamSLO   `json:"streams"`
+		}{Farm: m.SLO, Streams: []streamSLO{}}
+		for _, t := range m.Streams {
+			if t.SLO == nil {
+				continue
+			}
+			out.Streams = append(out.Streams, streamSLO{t.ID, t.SLO, t.Degradation})
+		}
+		writeJSON(w, http.StatusOK, out)
+	})
+
+	mux.HandleFunc("GET /alerts", func(w http.ResponseWriter, r *http.Request) {
+		n := 100
+		if v := r.URL.Query().Get("n"); v != "" {
+			parsed, err := strconv.Atoi(v)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, "bad n: "+v)
+				return
+			}
+			n = parsed
+		}
+		type activeAlert struct {
+			Stream    string   `json:"stream"`
+			SLI       string   `json:"sli"`
+			Severity  string   `json:"severity"`
+			Threshold float64  `json:"burn_threshold"`
+			SincePS   sim.Time `json:"since_ps"`
+		}
+		out := struct {
+			Active []activeAlert `json:"active"`
+			Recent []obs.Event   `json:"recent"`
+		}{Active: []activeAlert{}, Recent: []obs.Event{}}
+		for _, t := range f.Metrics().Streams {
+			if t.SLO == nil {
+				continue
+			}
+			for _, si := range t.SLO.SLIs {
+				for _, al := range si.Alerts {
+					if al.Active {
+						out.Active = append(out.Active, activeAlert{
+							Stream: t.ID, SLI: si.Name, Severity: al.Severity,
+							Threshold: al.Threshold, SincePS: al.SincePS,
+						})
+					}
+				}
+			}
+		}
+		// Recent alert history: the fire/clear edges still retained in the
+		// event rings, newest-n across the whole farm.
+		for _, ev := range f.Events("", 0) {
+			if ev.Kind == obs.EventAlertFire || ev.Kind == obs.EventAlertClear {
+				out.Recent = append(out.Recent, ev)
+			}
+		}
+		if n > 0 && len(out.Recent) > n {
+			out.Recent = out.Recent[len(out.Recent)-n:]
+		}
+		writeJSON(w, http.StatusOK, out)
 	})
 
 	mux.HandleFunc("POST /streams", func(w http.ResponseWriter, r *http.Request) {
@@ -113,7 +209,7 @@ func NewServer(f *Farm) http.Handler {
 		if err != nil {
 			status := http.StatusBadRequest
 			switch {
-			case errors.Is(err, ErrClosed):
+			case errors.Is(err, ErrClosed), errors.Is(err, ErrSLOBurning):
 				status = http.StatusServiceUnavailable
 			case errors.Is(err, ErrDuplicate):
 				status = http.StatusConflict

@@ -14,6 +14,7 @@ import (
 	"zynqfusion/internal/pipeline"
 	"zynqfusion/internal/sched"
 	"zynqfusion/internal/sim"
+	"zynqfusion/internal/slo"
 	"zynqfusion/internal/split"
 	"zynqfusion/internal/wavelet"
 )
@@ -75,6 +76,12 @@ type StreamConfig struct {
 	// schedule bit-for-bit, and values above pipeline.MaxDepth — or any
 	// Depth without Pipelined — are rejected at Submit.
 	Depth int `json:"pipeline_depth"`
+	// SLO declares the stream's service-level objectives. When set it
+	// wins over the farm-level slo.Rules resolution for this stream; nil
+	// falls back to the farm rules (and to no SLO at all when those
+	// declare nothing for this id). A declared deadline SLI requires
+	// DeadlineMS.
+	SLO *slo.SLO `json:"slo,omitempty"`
 }
 
 func (c StreamConfig) withDefaults() StreamConfig {
@@ -132,6 +139,17 @@ func fusionRule(name string) (fusion.Rule, error) {
 	}
 }
 
+// opKey identifies one executor in a stream's cache: the operating point
+// it is pinned at and the effective pipeline depth it was built for (0
+// for never-pipelined streams). Depth is part of the key because the SLO
+// degradation controller demotes a burning stream's depth at runtime —
+// each demotion level gets its own executor, built lazily, exactly like
+// a DVFS point switch.
+type opKey struct {
+	op    string
+	depth int
+}
+
 // opFuser is one stream's fusion pipeline pinned at one operating point.
 // Streams build them lazily as the DVFS governor visits points; routed
 // statistics accumulate into the stream via deltas against the last
@@ -174,7 +192,14 @@ type Stream struct {
 	escalate   bool // deadline-pace: step up after a missed deadline
 	rule       fusion.Rule
 	levels     int // effective decomposition depth
-	ops        map[string]*opFuser
+	ops        map[opKey]*opFuser
+
+	// tracker evaluates the stream's SLO (nil when none is declared);
+	// ctrl is the staged degradation controller driven after each fused
+	// frame (nil when degradation is disabled). Both are fed exclusively
+	// from the consumer goroutine.
+	tracker *slo.Tracker
+	ctrl    *slo.Controller
 
 	source Source
 	queue  *frameQueue
@@ -231,6 +256,19 @@ type Stream struct {
 	err             error
 	running         bool
 
+	// Degradation state. Written only from the consumer goroutine (the
+	// controller's actuator callbacks), under s.mu so Telemetry reads a
+	// consistent snapshot; the consumer goroutine itself may read its own
+	// writes without the lock.
+	demote       int              // pipeline-depth demotions below cfg.Depth
+	downclock    int              // DVFS steps below the governor's pick
+	shedEvery    int              // fuse only every shedEvery-th frame (0/1 = off)
+	droppedShed  int64            // frames dropped by load shedding
+	sloDropsSeen int64            // drops already fed to the SLO tracker
+	degradeStage int              // controller rungs currently applied
+	origQueueCap int              // queue bound to restore after a shrink
+	degradeActs  map[string]int64 // action counts ("degrade:shed" etc.)
+
 	// Fixed-bucket distributions recorded per fused frame (under s.mu, so
 	// Telemetry snapshots are consistent). All four share their layouts
 	// with every other stream's, which is what lets the farm aggregate
@@ -257,7 +295,9 @@ func newDepthHist() *obs.Histogram  { return obs.NewLogHistogram(1, 1024, 4) }
 // plane and fused output the stream touches leases from it (nil builds a
 // private unbounded pool). ring is the stream's slot in the farm's event
 // log (nil builds a private ring, for tests that drive a bare stream).
-func newStream(cfg StreamConfig, gov *Governor, pool *bufpool.Pool, ring *obs.EventRing) (*Stream, error) {
+// rules is the farm-level SLO rule set the stream's objectives resolve
+// against (nil means only a StreamConfig-level declaration applies).
+func newStream(cfg StreamConfig, gov *Governor, pool *bufpool.Pool, ring *obs.EventRing, rules *slo.Rules) (*Stream, error) {
 	if cfg.QueueCap < 0 {
 		return nil, fmt.Errorf("farm: queue_cap must be non-negative, got %d (zero selects the default depth)", cfg.QueueCap)
 	}
@@ -331,26 +371,27 @@ func newStream(cfg StreamConfig, gov *Governor, pool *bufpool.Pool, ring *obs.Ev
 			levels, cfg.W, cfg.H, maxLv)
 	}
 	s := &Stream{
-		cfg:        cfg,
-		gov:        gov,
-		gate:       &gate{},
-		pool:       pool,
-		dvfsGov:    dg,
-		dvfsPolicy: policyName,
-		deadline:   deadline,
-		rule:       rule,
-		levels:     levels,
-		ops:        make(map[string]*opFuser),
-		source:     src,
-		queue:      newFrameQueue(cfg.QueueCap),
-		wantsFPGA:  cfg.Engine != "arm" && cfg.Engine != "neon",
-		stopCh:     make(chan struct{}),
-		done:       make(chan struct{}),
-		running:    true,
-		latHist:    newTimeHist(),
-		energyHist: newEnergyHist(),
-		queueHist:  newDepthHist(),
-		slackHist:  newTimeHist(),
+		cfg:          cfg,
+		gov:          gov,
+		gate:         &gate{},
+		pool:         pool,
+		dvfsGov:      dg,
+		dvfsPolicy:   policyName,
+		deadline:     deadline,
+		rule:         rule,
+		levels:       levels,
+		ops:          make(map[opKey]*opFuser),
+		source:       src,
+		queue:        newFrameQueue(cfg.QueueCap),
+		origQueueCap: cfg.QueueCap,
+		wantsFPGA:    cfg.Engine != "arm" && cfg.Engine != "neon",
+		stopCh:       make(chan struct{}),
+		done:         make(chan struct{}),
+		running:      true,
+		latHist:      newTimeHist(),
+		energyHist:   newEnergyHist(),
+		queueHist:    newDepthHist(),
+		slackHist:    newTimeHist(),
 	}
 	if ring == nil {
 		ring = obs.NewEventLog(0).Ring(cfg.ID)
@@ -361,6 +402,33 @@ func newStream(cfg StreamConfig, gov *Governor, pool *bufpool.Pool, ring *obs.Ev
 	// lock, so pushing there is the only thing it may do (never s.mu, which
 	// is taken before the queue lock on the telemetry path).
 	s.queue.onDrop = func(seq int64) { ring.Push(obs.EventDrop, seq, 0, "") }
+	// SLO resolution: an explicit StreamConfig declaration wins outright;
+	// otherwise the farm rules resolve by stream id (per-stream entry,
+	// then the default). A stream without objectives carries no tracker
+	// and pays nothing.
+	objectives := cfg.SLO
+	if objectives == nil && rules != nil {
+		if o, ok := rules.For(cfg.ID); ok {
+			objectives = &o
+		}
+	}
+	if objectives != nil && objectives.Enabled() {
+		if err := objectives.Validate(); err != nil {
+			return nil, fmt.Errorf("farm: stream %q: %w", cfg.ID, err)
+		}
+		if objectives.DeadlineHitRatio > 0 && deadline <= 0 {
+			return nil, fmt.Errorf("farm: stream %q: slo deadline_hit_ratio requires deadline_ms > 0", cfg.ID)
+		}
+		scale := rules.Scale(*objectives) // nil-safe
+		var minEvents int64
+		if rules != nil {
+			minEvents = rules.MinEvents
+		}
+		s.tracker = slo.NewTracker(*objectives, scale, minEvents)
+		if rules == nil || !rules.NoDegradation {
+			s.ctrl = slo.NewController(s, slo.EscalationHold(scale))
+		}
+	}
 	if dg.Name() == dvfs.PolicyDeadlinePace {
 		if s.predict, err = calibratePredictor(cfg); err != nil {
 			return nil, err
@@ -488,10 +556,28 @@ func calibratePredictor(cfg StreamConfig) (dvfs.Predictor, error) {
 	return func(op dvfs.OperatingPoint) sim.Time { return pred[op.Name] }, nil
 }
 
+// effDepth is the stream's current effective pipeline depth: the
+// configured depth minus the degradation controller's demotions, floored
+// at 1 (0 for never-pipelined streams). Consumer goroutine only.
+func (s *Stream) effDepth() int {
+	if !s.cfg.Pipelined {
+		return 0
+	}
+	d := s.cfg.Depth - s.demote
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
 // fuserAt returns (building lazily) the stream's pipeline at an operating
-// point. Only the consumer goroutine touches the cache.
+// point and the current effective depth. Only the consumer goroutine
+// touches the cache. A fully demoted pipelined stream (effective depth 1)
+// runs the sequential executor — per-frame lease and all — which is the
+// documented depth-1 degenerate behavior.
 func (s *Stream) fuserAt(op dvfs.OperatingPoint) *opFuser {
-	if of, ok := s.ops[op.Name]; ok {
+	key := opKey{op: op.Name, depth: s.effDepth()}
+	if of, ok := s.ops[key]; ok {
 		return of
 	}
 	inner, err := innerPolicyAt(s.cfg.Engine, op)
@@ -507,8 +593,8 @@ func (s *Stream) fuserAt(op dvfs.OperatingPoint) *opFuser {
 		lastRows: make(map[string]int64),
 		lastTime: make(map[string]sim.Time),
 	}
-	if s.cfg.Pipelined && s.cfg.Depth >= 2 {
-		pp, err := pipeline.NewPipelined(of.fuser, s.cfg.Depth)
+	if key.depth >= 2 {
+		pp, err := pipeline.NewPipelined(of.fuser, key.depth)
 		if err != nil {
 			// Depth was validated at Submit; this cannot happen.
 			panic("farm: " + err.Error())
@@ -520,7 +606,7 @@ func (s *Stream) fuserAt(op dvfs.OperatingPoint) *opFuser {
 		})
 		of.pipe = pp
 	}
-	s.ops[op.Name] = of
+	s.ops[key] = of
 	return of
 }
 
@@ -677,16 +763,38 @@ func (s *Stream) consume() {
 			s.mu.Unlock()
 			continue
 		}
+		if s.shedNow(p.seq) {
+			p.release()
+			s.events.Push(obs.EventDrop, p.seq, 0, "shed")
+			continue
+		}
 		s.fuseOne(p)
 	}
+}
+
+// shedNow implements the last degradation rung: while load shedding is
+// active only every shedEvery-th captured frame is fused, the rest are
+// dropped at admission and counted like queue drops. Runs on the
+// consumer goroutine.
+func (s *Stream) shedNow(seq int64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.shedEvery > 1 && seq%int64(s.shedEvery) != 0 {
+		s.droppedShed++
+		return true
+	}
+	return false
 }
 
 func (s *Stream) fuseOne(p framePair) {
 	op := s.dvfsGov.Pick(s.predict, s.deadline)
 	s.mu.Lock()
-	boost := s.boost
+	// The deadline-miss escalation boost and the SLO controller's
+	// down-clock pull in opposite directions; the net step is applied
+	// (dvfs.Faster clamps at both ends of the table).
+	boost := s.boost - s.downclock
 	s.mu.Unlock()
-	if boost > 0 {
+	if boost != 0 {
 		op = dvfs.Faster(op, boost)
 	}
 	s.traceFrame = p.seq
@@ -712,11 +820,11 @@ func (s *Stream) fuseOne(p framePair) {
 	warm := false
 	pipelined := of.pipe != nil
 	if pipelined {
-		// Frames below Depth on *this executor's* timeline carry the
-		// pipeline fill — at stream start, and again whenever a DVFS
-		// boost or governor pick lands on an operating point whose
-		// pipeline is still cold.
-		warm = of.pipe.Frames() < int64(s.cfg.Depth)
+		// Frames below the executor's depth on *this executor's* timeline
+		// carry the pipeline fill — at stream start, and again whenever a
+		// DVFS boost, governor pick or depth demotion lands on an
+		// executor whose pipeline is still cold.
+		warm = of.pipe.Frames() < int64(of.pipe.Depth())
 		// The per-stage hooks acquire and release the FPGA lease around
 		// each wavelet station and count the grant outcomes.
 		fused, st, err = of.pipe.FuseFrames(p.vis, p.ir)
@@ -835,6 +943,9 @@ func (s *Stream) fuseOne(p framePair) {
 		s.snapshot.Release()
 	}
 	s.snapshot = fused
+	// The stream's modeled period clock — busy spans plus idled-out
+	// deadline slack — is the timeline the SLO windows rotate on.
+	sloNow := s.stages.Total + s.slackTime
 	s.mu.Unlock()
 
 	if !pipelined {
@@ -845,6 +956,165 @@ func (s *Stream) fuseOne(p framePair) {
 		s.events.Push(obs.EventDeadlineMiss, p.seq,
 			float64(st.Total-s.deadline)/float64(sim.Millisecond), op.Name)
 	}
+	if s.tracker != nil {
+		s.observeSLO(p.seq, sloNow, lat, st.Energy)
+	}
+}
+
+// observeSLO feeds one fused frame into the SLO tracker, publishes any
+// alert edges as structured events and trace instants, and advances the
+// degradation controller. Runs on the consumer goroutine after the
+// frame's accounting; allocation-free unless an alert transitions or an
+// action applies (both rare by construction).
+func (s *Stream) observeSLO(seq int64, now sim.Time, lat sim.Time, energy sim.Joules) {
+	drops := s.queue.Dropped()
+	s.mu.Lock()
+	drops += s.droppedShutdown + s.droppedShed
+	newDrops := drops - s.sloDropsSeen
+	s.sloDropsSeen = drops
+	s.mu.Unlock()
+	o := slo.FrameObs{
+		Now:       now,
+		LatencyMS: float64(lat) / float64(sim.Millisecond),
+		EnergyMJ:  float64(energy) * 1e3,
+		Dropped:   newDrops,
+	}
+	if s.deadline > 0 {
+		// The SLO's deadline SLI is latency-shaped on purpose: it asks
+		// whether the frame itself arrived in time, not whether the
+		// pipelined executor sustained its period — which is exactly what
+		// depth demotion can recover.
+		o.HasDeadline = true
+		o.DeadlineMet = lat <= s.deadline
+	}
+	for _, tr := range s.tracker.Observe(o) {
+		kind := obs.EventAlertClear
+		if tr.Firing {
+			kind = obs.EventAlertFire
+		}
+		label := tr.SLI + "/" + tr.Severity
+		s.events.Push(kind, seq, tr.Burn, label)
+		s.trace.Instant(seq, "slo", kind+":"+label, s.traceHead)
+	}
+	if s.ctrl == nil {
+		return
+	}
+	sliName, burning := s.tracker.Burning()
+	timeSLI := sliName == slo.SLILatency || sliName == slo.SLIDeadline
+	act, escalated, ok := s.ctrl.Tick(now, burning, timeSLI)
+	if !ok {
+		return
+	}
+	kind := obs.EventRestore
+	if escalated {
+		kind = obs.EventDegrade
+	}
+	stage := s.ctrl.Stage()
+	s.mu.Lock()
+	s.degradeStage = stage
+	if s.degradeActs == nil {
+		s.degradeActs = make(map[string]int64)
+	}
+	s.degradeActs[kind+":"+string(act)]++
+	s.mu.Unlock()
+	s.events.Push(kind, seq, float64(stage), string(act))
+	s.trace.Instant(seq, "slo", kind+":"+string(act), s.traceHead)
+}
+
+// ApplyAction implements slo.Actuator: one degradation rung takes
+// effect. Called by the controller on the consumer goroutine; state is
+// written under s.mu so Telemetry observes it consistently.
+func (s *Stream) ApplyAction(a slo.Action) bool {
+	switch a {
+	case slo.ActionDemoteDepth:
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if !s.cfg.Pipelined || s.cfg.Depth-s.demote <= 1 {
+			return false
+		}
+		s.demote++
+		return true
+	case slo.ActionDownclock:
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if s.downclock >= len(dvfs.List())-1 {
+			return false
+		}
+		s.downclock++
+		return true
+	case slo.ActionShrinkQueue:
+		if c := s.queue.Cap(); c > 1 {
+			s.queue.SetCap(c / 2)
+			return true
+		}
+		return false
+	case slo.ActionShed:
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if s.shedEvery > 1 {
+			return false
+		}
+		s.shedEvery = 2
+		return true
+	}
+	return false
+}
+
+// RevertAction implements slo.Actuator: undo one rung once the alerts
+// have stayed clear through the recovery hold.
+func (s *Stream) RevertAction(a slo.Action) bool {
+	switch a {
+	case slo.ActionDemoteDepth:
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if s.demote == 0 {
+			return false
+		}
+		s.demote--
+		return true
+	case slo.ActionDownclock:
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if s.downclock == 0 {
+			return false
+		}
+		s.downclock--
+		return true
+	case slo.ActionShrinkQueue:
+		c := s.queue.Cap()
+		if c >= s.origQueueCap {
+			return false
+		}
+		if c *= 2; c > s.origQueueCap {
+			c = s.origQueueCap
+		}
+		s.queue.SetCap(c)
+		return true
+	case slo.ActionShed:
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if s.shedEvery == 0 {
+			return false
+		}
+		s.shedEvery = 0
+		return true
+	}
+	return false
+}
+
+// PageActive reports whether any of the stream's SLO page alerts is
+// firing — the farm's admission gate reads it.
+func (s *Stream) PageActive() bool {
+	return s.tracker != nil && s.tracker.PageActive()
+}
+
+// SLOStatus snapshots the stream's SLO evaluation (zero Status and false
+// when the stream declares no objectives).
+func (s *Stream) SLOStatus() (slo.Status, bool) {
+	if s.tracker == nil {
+		return slo.Status{}, false
+	}
+	return s.tracker.Status(), true
 }
 
 // fail records the stream's terminal error and initiates shutdown.
@@ -950,7 +1220,7 @@ func (s *Stream) Telemetry() StreamTelemetry {
 		Running:        s.running,
 		Captured:       s.captured,
 		Fused:          s.fused,
-		Dropped:        s.queue.Dropped() + s.droppedShutdown,
+		Dropped:        s.queue.Dropped() + s.droppedShutdown + s.droppedShed,
 		QueueDepth:     s.queue.Len(),
 		Stages:         stageJSON(s.stages),
 		Point:          s.lastPoint,
@@ -979,6 +1249,27 @@ func (s *Stream) Telemetry() StreamTelemetry {
 	}
 	if s.err != nil {
 		t.Err = s.err.Error()
+	}
+	if s.tracker != nil {
+		// The tracker and queue locks are leaves, safe under s.mu (the
+		// same ordering the drop path already relies on).
+		st := s.tracker.Status()
+		t.SLO = &st
+		d := &DegradationTelemetry{
+			Stage:          s.degradeStage,
+			DepthDemotions: s.demote,
+			DVFSDownclock:  s.downclock,
+			QueueCap:       s.queue.Cap(),
+			ShedEvery:      s.shedEvery,
+			ShedDropped:    s.droppedShed,
+		}
+		if len(s.degradeActs) > 0 {
+			d.Actions = make(map[string]int64, len(s.degradeActs))
+			for k, v := range s.degradeActs {
+				d.Actions[k] = v
+			}
+		}
+		t.Degradation = d
 	}
 	if s.pool != nil {
 		ps := s.pool.Stats()

@@ -28,6 +28,18 @@ const (
 	EventStreamStop  = "stream-stop"
 	// EventStreamError is a terminal stream error (Label = error text).
 	EventStreamError = "stream-error"
+	// EventAlertFire and EventAlertClear are SLO burn-rate alert edges
+	// (Label = "sli/severity", Value = the limiting window's burn rate).
+	EventAlertFire  = "alert-fire"
+	EventAlertClear = "alert-clear"
+	// EventDegrade and EventRestore are degradation-controller actions
+	// (Label = the action, Value = the resulting stage count).
+	EventDegrade = "degrade"
+	EventRestore = "restore"
+	// EventAdmissionRefused is a stream submission refused while the farm
+	// error budget was burning (Label = refused stream id, on the "farm"
+	// ring).
+	EventAdmissionRefused = "admission-refused"
 )
 
 // Event is one structured entry in a stream's event ring.
@@ -112,6 +124,28 @@ func (l *EventLog) Events(stream string, n int) []Event {
 		out = out[len(out)-n:]
 	}
 	return out
+}
+
+// EventsSince returns retained events with Seq > since in farm-wide
+// order — the forward-pagination contract behind /events?since=N. Unlike
+// Events, which keeps the n most *recent*, EventsSince keeps the n
+// *oldest* matches (n <= 0 means all), so a poller walking the returned
+// cursor never skips an event that is still retained and never reads one
+// twice. The cursor is the last returned Seq (since itself when nothing
+// matched); events evicted from a ring before the poller catches up are
+// lost to it, as with any bounded buffer.
+func (l *EventLog) EventsSince(stream string, since uint64, n int) ([]Event, uint64) {
+	evs := l.Events(stream, 0)
+	i := sort.Search(len(evs), func(i int) bool { return evs[i].Seq > since })
+	evs = evs[i:]
+	if n > 0 && len(evs) > n {
+		evs = evs[:n]
+	}
+	next := since
+	if len(evs) > 0 {
+		next = evs[len(evs)-1].Seq
+	}
+	return evs, next
 }
 
 // EventRing is one stream's bounded event buffer. Push overwrites the

@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"reflect"
+	"testing"
+
+	"zynqfusion/internal/sim"
+)
+
+// --- Histogram.Merge degenerate cases ------------------------------------
+
+func TestHistogramMergeEmptyIntoFull(t *testing.T) {
+	h := NewLogHistogram(1, 1000, 3)
+	for i := 1; i <= 50; i++ {
+		h.Observe(float64(i))
+	}
+	s := h.Snapshot()
+	before := s.Clone()
+	if err := s.Merge(NewLogHistogram(1, 1000, 3).Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s, before) {
+		t.Fatalf("merging an empty summary changed the receiver:\n%+v\n%+v", s, before)
+	}
+	// The empty receiver adopts the full summary wholesale — even with a
+	// different (empty) layout, since there is nothing to corrupt.
+	var empty Summary
+	if err := empty.Merge(before); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(empty, before) {
+		t.Fatalf("empty receiver did not adopt the merged summary:\n%+v\n%+v", empty, before)
+	}
+}
+
+func TestHistogramMergeSelf(t *testing.T) {
+	h := NewLogHistogram(1, 1000, 3)
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i * i % 97))
+	}
+	h.Observe(0) // below lo: first bucket
+	s := h.Snapshot()
+	doubled := s.Clone()
+	if err := doubled.Merge(s); err != nil {
+		t.Fatal(err)
+	}
+	if doubled.Count != 2*s.Count || doubled.Sum != 2*s.Sum {
+		t.Fatalf("self-merge count/sum: %+v", doubled)
+	}
+	if doubled.Min != s.Min || doubled.Max != s.Max {
+		t.Fatalf("self-merge min/max: %+v", doubled)
+	}
+	// Duplicating every observation leaves the distribution — mean and
+	// quantiles — unchanged.
+	if doubled.Mean != s.Mean || doubled.P50 != s.P50 || doubled.P95 != s.P95 || doubled.P99 != s.P99 {
+		t.Fatalf("self-merge moved the order statistics:\n%+v\n%+v", doubled, s)
+	}
+	// And the source must be untouched (Clone isolated the vectors).
+	if !reflect.DeepEqual(s, h.Snapshot()) {
+		t.Fatal("self-merge mutated the source summary")
+	}
+}
+
+func TestHistogramMergeSaturatedOverflow(t *testing.T) {
+	overflow := func(s Summary) int64 { return s.Count - s.Buckets[len(s.Buckets)-1].N }
+	h1 := NewLogHistogram(1, 100, 3)
+	h2 := NewLogHistogram(1, 100, 3)
+	for i := 0; i < 10; i++ {
+		h1.Observe(1e6) // far above hi: overflow bucket
+		h2.Observe(1e7)
+	}
+	h2.Observe(5) // one in-range observation
+	s1, s2 := h1.Snapshot(), h2.Snapshot()
+	if overflow(s1) != 10 || overflow(s2) != 10 {
+		t.Fatalf("overflow counts before merge: %d, %d", overflow(s1), overflow(s2))
+	}
+	if err := s1.Merge(s2); err != nil {
+		t.Fatal(err)
+	}
+	if s1.Count != 21 || overflow(s1) != 20 {
+		t.Fatalf("merged overflow: count %d overflow %d, want 21/20", s1.Count, overflow(s1))
+	}
+	if s1.Max != 1e7 || s1.Min != 5 {
+		t.Fatalf("merged min/max: %+v", s1)
+	}
+	// A quantile landing in the overflow bucket has only one honest
+	// answer: the tracked Max.
+	if q := s1.Quantile(0.99); q != s1.Max {
+		t.Fatalf("overflow quantile %g, want Max %g", q, s1.Max)
+	}
+}
+
+// --- Trace-ring wraparound ordering ---------------------------------------
+
+func TestTraceRingWraparoundOrdering(t *testing.T) {
+	r := NewTraceRecorder("s1", 8)
+	for f := int64(0); f < 20; f++ {
+		r.Span(f, "fuse", "fuse", sim.Time(f)*sim.Millisecond, sim.Time(f)*sim.Millisecond+sim.Microsecond)
+	}
+	got := r.Spans(0)
+	if len(got) != 8 {
+		t.Fatalf("retained %d spans, want ring capacity 8", len(got))
+	}
+	// After wrapping twice, the snapshot must come back in recording
+	// order — oldest retained first — not in raw ring-slot order.
+	for i, s := range got {
+		if want := int64(12 + i); s.Frame != want {
+			t.Fatalf("span %d is frame %d, want %d (order: %v)", i, s.Frame, want, frames(got))
+		}
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Start < got[i-1].Start {
+			t.Fatalf("start times regress at %d: %v", i, frames(got))
+		}
+	}
+}
+
+func frames(spans []TraceSpan) []int64 {
+	out := make([]int64, len(spans))
+	for i, s := range spans {
+		out[i] = s.Frame
+	}
+	return out
+}

@@ -1,0 +1,121 @@
+package slo
+
+import "zynqfusion/internal/sim"
+
+// Action is one degradation rung.
+type Action string
+
+const (
+	// ActionDemoteDepth lowers a pipelined stream's effective depth by
+	// one: less overlap, less queueing, lower end-to-end latency, at the
+	// cost of throughput. Repeatable down to depth 1 (sequential).
+	ActionDemoteDepth Action = "demote-depth"
+	// ActionDownclock steps the stream's DVFS operating point one rung
+	// below the governor's pick — the energy lever. Skipped while the
+	// burning SLI is a time SLI (latency or deadline): down-clocking a
+	// late stream only makes it later. Repeatable down to the slowest
+	// point.
+	ActionDownclock Action = "dvfs-downclock"
+	// ActionShrinkQueue halves the capture-queue bound, shedding stale
+	// backlog before it inflates latency further. Repeatable down to 1.
+	ActionShrinkQueue Action = "queue-shrink"
+	// ActionShed fuses only every second captured frame, dropping the
+	// rest at admission — the last rung before giving up.
+	ActionShed Action = "shed"
+)
+
+// Ladder is the escalation order. Each rung is retried (many rungs apply
+// repeatedly: depth 4 demotes three times) before the controller moves to
+// the next; inapplicable rungs are skipped.
+var Ladder = [...]Action{ActionDemoteDepth, ActionDownclock, ActionShrinkQueue, ActionShed}
+
+// Actuator is what a Controller degrades: the stream. Implementations
+// run on the stream's consumer goroutine.
+type Actuator interface {
+	// ApplyAction attempts one rung, reporting whether it took effect
+	// (false = inapplicable or exhausted; the ladder moves on).
+	ApplyAction(a Action) bool
+	// RevertAction undoes one previously applied rung.
+	RevertAction(a Action) bool
+}
+
+// EscalationHold is the modeled-time pause between degradation actions at
+// a window scale: the fast page window's span, so by the next decision
+// the fast window is dominated by post-action frames and the burn rate
+// reflects what the action bought.
+func EscalationHold(scale float64) sim.Time {
+	if scale <= 0 {
+		scale = 1
+	}
+	return sim.Time(float64(windows[0].span) * scale)
+}
+
+// Controller is the staged degradation state machine of one stream. It
+// is confined to the stream's consumer goroutine (Tick is called after
+// each fused frame) and allocates only when an action actually applies.
+type Controller struct {
+	act        Actuator
+	hold       sim.Time // min modeled time between escalations
+	recover    sim.Time // min clear time before a rung is restored
+	lastChange sim.Time
+	next       int      // ladder index escalation scans from
+	applied    []Action // stack of applied rungs, popped on restore
+}
+
+// NewController builds a controller over an actuator. hold <= 0 selects
+// EscalationHold(1).
+func NewController(act Actuator, hold sim.Time) *Controller {
+	if hold <= 0 {
+		hold = EscalationHold(1)
+	}
+	return &Controller{act: act, hold: hold, recover: 4 * hold}
+}
+
+// Tick advances the loop at modeled time now. While burning (a page
+// alert is active) it escalates one rung per hold interval; once clear
+// for the longer recovery interval it restores the most recent rung —
+// a deliberate probe: if the restored capacity resumes the burn, the
+// alert refires and the controller re-applies it. timeSLI marks the
+// burning SLI as latency-shaped, which skips the down-clock rung.
+// Returns the action taken, whether it was an escalation (false = a
+// restore), and whether anything happened.
+func (c *Controller) Tick(now sim.Time, burning, timeSLI bool) (Action, bool, bool) {
+	if burning {
+		if now-c.lastChange < c.hold || c.next >= len(Ladder) {
+			return "", false, false
+		}
+		for i := c.next; i < len(Ladder); i++ {
+			a := Ladder[i]
+			if a == ActionDownclock && timeSLI {
+				continue
+			}
+			if c.act.ApplyAction(a) {
+				// Stay on this rung: most repeat until exhausted.
+				c.next = i
+				c.applied = append(c.applied, a)
+				c.lastChange = now
+				return a, true, true
+			}
+		}
+		return "", false, false
+	}
+	if len(c.applied) == 0 || now-c.lastChange < c.recover {
+		return "", false, false
+	}
+	a := c.applied[len(c.applied)-1]
+	c.applied = c.applied[:len(c.applied)-1]
+	c.act.RevertAction(a)
+	for i, l := range Ladder {
+		if l == a {
+			if i < c.next {
+				c.next = i
+			}
+			break
+		}
+	}
+	c.lastChange = now
+	return a, false, true
+}
+
+// Stage reports how many rungs are currently applied.
+func (c *Controller) Stage() int { return len(c.applied) }

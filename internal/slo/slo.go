@@ -1,0 +1,256 @@
+// Package slo is the farm's closed-loop service-level-objective engine.
+//
+// Streams declare objectives (a latency bound, a deadline-hit ratio, an
+// energy-per-frame budget, a drop-rate cap); every fused frame is scored
+// good or bad against each declared objective and fed into sliding
+// windows over the stream's *modeled* timeline. Alerting follows the
+// Google SRE multi-window multi-burn-rate recipe: a page fires while both
+// a fast (5m) and a slow (1h) window burn error budget at >= 14.4x the
+// sustainable rate, a ticket while both a 30m and a 6h window burn at
+// >= 6x. The canonical window spans are scaled into modeled time by
+// WindowScale so a bench-sized run exercises the same machinery a
+// long-lived service would. A cumulative error-budget account per
+// objective rolls up into a composite 0-100 health score, and a staged
+// degradation Controller closes the loop: while a page burns, the stream
+// is demoted one rung at a time (pipeline-depth demotion, DVFS
+// down-clock, queue shrink, load shedding) until the budget stops
+// burning, then restored rung by rung once the alerts clear.
+//
+// Everything operates on modeled time and modeled per-frame figures, so
+// an identical workload produces an identical alert fire/clear sequence
+// and identical final health scores, run after run.
+package slo
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// SLI names, in evaluation (and degradation-priority) order.
+const (
+	// SLILatency scores each frame's end-to-end latency against
+	// LatencyBoundMS.
+	SLILatency = "latency"
+	// SLIDeadline scores each frame's end-to-end latency against the
+	// stream's DeadlineMS. Note this is deliberately latency-based — a
+	// pipelined stream's executor checks its *period* against the
+	// deadline (a throughput deadline), while the SLO asks whether the
+	// frame itself was delivered in time, which is what depth demotion
+	// can actually recover.
+	SLIDeadline = "deadline"
+	// SLIEnergy scores each frame's modeled energy against
+	// EnergyPerFrameMJ.
+	SLIEnergy = "energy"
+	// SLIDrops scores capture drops against fused frames: every drop is a
+	// bad event, every fused frame a good one, so the bad fraction is the
+	// stream's drop rate.
+	SLIDrops = "drops"
+)
+
+// Alert severities.
+const (
+	// SevPage is the fast-burn pair: 5m and 1h windows at >= 14.4x burn.
+	SevPage = "page"
+	// SevTicket is the slow-burn pair: 30m and 6h windows at >= 6x burn.
+	SevTicket = "ticket"
+)
+
+// Burn-rate thresholds of the two severity pairs (the canonical SRE
+// workbook values: 14.4x spends 2% of a 30-day budget in an hour, 6x
+// spends 5% in six hours).
+const (
+	PageBurn   = 14.4
+	TicketBurn = 6.0
+)
+
+// DefaultMinEvents is the per-window event floor below which a burn rate
+// reads as zero: a window holding a handful of frames cannot distinguish
+// a burn from startup noise.
+const DefaultMinEvents = 12
+
+// SLO declares one stream's objectives. Zero-valued fields disable their
+// SLI, so a stream can declare any subset.
+type SLO struct {
+	// LatencyBoundMS enables the latency SLI: a frame whose end-to-end
+	// modeled latency exceeds the bound is a bad event.
+	LatencyBoundMS float64 `json:"p99_latency_ms,omitempty"`
+	// LatencyObjective is the target good fraction for the latency SLI
+	// (default 0.99 — the bound is a p99 bound).
+	LatencyObjective float64 `json:"latency_objective,omitempty"`
+
+	// DeadlineHitRatio enables the deadline SLI: the target fraction of
+	// frames delivered within the stream's DeadlineMS (which must be
+	// configured on the stream).
+	DeadlineHitRatio float64 `json:"deadline_hit_ratio,omitempty"`
+
+	// EnergyPerFrameMJ enables the energy SLI: a frame whose modeled
+	// energy exceeds the budget is a bad event.
+	EnergyPerFrameMJ float64 `json:"energy_per_frame_mj,omitempty"`
+	// EnergyObjective is the target good fraction for the energy SLI
+	// (default 0.95).
+	EnergyObjective float64 `json:"energy_objective,omitempty"`
+
+	// MaxDropRate enables the drop SLI: the tolerated fraction of capture
+	// pairs dropped instead of fused (the objective is 1 - MaxDropRate).
+	MaxDropRate float64 `json:"max_drop_rate,omitempty"`
+
+	// WindowScale shrinks the canonical 5m/30m/1h/6h alert windows into
+	// modeled time (0.001 turns the 5m window into 300 modeled ms). Zero
+	// inherits the Rules-level scale, or 1.
+	WindowScale float64 `json:"window_scale,omitempty"`
+}
+
+// Enabled reports whether any SLI is declared.
+func (s SLO) Enabled() bool {
+	return s.LatencyBoundMS > 0 || s.DeadlineHitRatio > 0 ||
+		s.EnergyPerFrameMJ > 0 || s.MaxDropRate > 0
+}
+
+// Validate checks the declaration. Objectives must leave a non-empty
+// error budget: an objective of exactly 1 would make every bad event an
+// infinite burn.
+func (s SLO) Validate() error {
+	if s.LatencyBoundMS < 0 {
+		return fmt.Errorf("slo: negative p99_latency_ms %g", s.LatencyBoundMS)
+	}
+	if s.EnergyPerFrameMJ < 0 {
+		return fmt.Errorf("slo: negative energy_per_frame_mj %g", s.EnergyPerFrameMJ)
+	}
+	if s.WindowScale < 0 {
+		return fmt.Errorf("slo: negative window_scale %g", s.WindowScale)
+	}
+	check := func(name string, v, def float64) error {
+		if v == 0 {
+			v = def
+		}
+		if v <= 0 || v >= 1 {
+			return fmt.Errorf("slo: %s must be in (0,1), got %g (1 leaves no error budget)", name, v)
+		}
+		return nil
+	}
+	if s.LatencyBoundMS > 0 {
+		if err := check("latency_objective", s.LatencyObjective, DefaultLatencyObjective); err != nil {
+			return err
+		}
+	} else if s.LatencyObjective != 0 {
+		return fmt.Errorf("slo: latency_objective requires p99_latency_ms")
+	}
+	if s.DeadlineHitRatio != 0 {
+		if err := check("deadline_hit_ratio", s.DeadlineHitRatio, 0); err != nil {
+			return err
+		}
+	}
+	if s.EnergyPerFrameMJ > 0 {
+		if err := check("energy_objective", s.EnergyObjective, DefaultEnergyObjective); err != nil {
+			return err
+		}
+	} else if s.EnergyObjective != 0 {
+		return fmt.Errorf("slo: energy_objective requires energy_per_frame_mj")
+	}
+	if s.MaxDropRate != 0 {
+		if err := check("max_drop_rate", s.MaxDropRate, 0); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Default objectives for the bounded SLIs.
+const (
+	DefaultLatencyObjective = 0.99
+	DefaultEnergyObjective  = 0.95
+)
+
+// Rules is the farm-level SLO configuration, the shape of a fusiond
+// `-slo rules.json` file: a default declaration applied to every stream,
+// per-stream overrides, and the closed-loop knobs.
+type Rules struct {
+	// WindowScale scales the canonical alert windows into modeled time
+	// for every stream that does not set its own (default 1).
+	WindowScale float64 `json:"window_scale,omitempty"`
+	// MinEvents is the per-window event floor for burn evaluation
+	// (default DefaultMinEvents).
+	MinEvents int64 `json:"min_events,omitempty"`
+	// Default, when set, applies to every stream without a per-stream
+	// entry or a StreamConfig-level declaration.
+	Default *SLO `json:"default,omitempty"`
+	// Streams overrides Default by stream id.
+	Streams map[string]SLO `json:"streams,omitempty"`
+	// NoDegradation disables the staged degradation controller: alerts
+	// still fire and score health, but burning streams are left alone.
+	NoDegradation bool `json:"no_degradation,omitempty"`
+	// NoAdmissionControl disables the admission gate: new streams are
+	// accepted even while the farm budget is burning.
+	NoAdmissionControl bool `json:"no_admission_control,omitempty"`
+}
+
+// For resolves the declaration for a stream id: the per-stream entry if
+// present, else the default. ok is false when neither declares an SLI.
+func (r *Rules) For(id string) (SLO, bool) {
+	if r == nil {
+		return SLO{}, false
+	}
+	if s, ok := r.Streams[id]; ok && s.Enabled() {
+		return s, true
+	}
+	if r.Default != nil && r.Default.Enabled() {
+		return *r.Default, true
+	}
+	return SLO{}, false
+}
+
+// Scale returns the effective window scale for a resolved declaration.
+func (r *Rules) Scale(s SLO) float64 {
+	if s.WindowScale > 0 {
+		return s.WindowScale
+	}
+	if r != nil && r.WindowScale > 0 {
+		return r.WindowScale
+	}
+	return 1
+}
+
+// Validate checks every declaration in the rule set.
+func (r *Rules) Validate() error {
+	if r == nil {
+		return nil
+	}
+	if r.WindowScale < 0 {
+		return fmt.Errorf("slo: negative window_scale %g", r.WindowScale)
+	}
+	if r.MinEvents < 0 {
+		return fmt.Errorf("slo: negative min_events %d", r.MinEvents)
+	}
+	if r.Default != nil {
+		if err := r.Default.Validate(); err != nil {
+			return fmt.Errorf("default: %w", err)
+		}
+	}
+	for id, s := range r.Streams {
+		if err := s.Validate(); err != nil {
+			return fmt.Errorf("stream %q: %w", id, err)
+		}
+	}
+	return nil
+}
+
+// LoadRules reads and validates a rules.json file. Unknown fields are
+// rejected so a typo'd objective cannot silently disable itself.
+func LoadRules(path string) (*Rules, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("slo: %w", err)
+	}
+	var r Rules
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&r); err != nil {
+		return nil, fmt.Errorf("slo: %s: %w", path, err)
+	}
+	if err := r.Validate(); err != nil {
+		return nil, fmt.Errorf("slo: %s: %w", path, err)
+	}
+	return &r, nil
+}

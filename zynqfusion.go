@@ -14,6 +14,7 @@ import (
 	"zynqfusion/internal/pipeline"
 	"zynqfusion/internal/sched"
 	"zynqfusion/internal/sim"
+	"zynqfusion/internal/slo"
 	"zynqfusion/internal/split"
 	"zynqfusion/internal/wavelet"
 )
@@ -345,6 +346,33 @@ type (
 	// FarmMetrics is the farm-wide snapshot served by fusiond's /metrics.
 	FarmMetrics = farm.Metrics
 )
+
+// SLO engine types: streams declare service-level objectives (latency,
+// deadline-hit ratio, energy per frame, drop rate) that the farm scores
+// over sliding windows with Google-SRE-style multi-window burn-rate
+// alerting, a cumulative error-budget account, a 0-100 health score, and
+// a closed loop — burning streams are degraded one rung at a time
+// (pipeline-depth demotion, DVFS down-clock, queue shrink, load
+// shedding) and new-stream admission is refused while the farm budget
+// burns. See the slo package and FarmConfig.SLO / StreamConfig.SLO.
+type (
+	// SLO is one stream's objective declaration (StreamConfig.SLO).
+	SLO = slo.SLO
+	// SLORules is the farm-level SLO rule set (FarmConfig.SLO), the shape
+	// of a fusiond `-slo rules.json` file.
+	SLORules = slo.Rules
+	// SLOStatus is a stream's scored SLO state: per-SLI budgets, window
+	// burn rates, alert states and the composite health score
+	// (StreamTelemetry.SLO, fusiond's GET /slo).
+	SLOStatus = slo.Status
+)
+
+// LoadSLORules reads and validates a rules.json file (fusiond -slo).
+func LoadSLORules(path string) (*SLORules, error) { return slo.LoadRules(path) }
+
+// ErrSLOBurning is returned by Farm.Submit when admission control
+// refuses a new stream because the farm's error budget is burning.
+var ErrSLOBurning = farm.ErrSLOBurning
 
 // NewFarm builds an empty fusion farm. Submit streams, read Metrics, and
 // Close when done; cmd/fusiond serves the same farm over HTTP.

@@ -2,6 +2,7 @@ package zynqfusion
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 )
 
@@ -20,23 +21,43 @@ const allocGuardWarmup = 10
 // wavelet→pipeline data path.
 func TestAllocGuardSteadyStateFusion(t *testing.T) {
 	for _, tc := range []struct {
-		engine EngineKind
-		split  string
-		depth  int
+		engine  EngineKind
+		split   string
+		depth   int
+		rule    Rule
+		workers int
 	}{
 		{engine: EngineAdaptive, depth: 2},
 		{engine: EngineNEON, depth: 2},
 		{engine: EngineFPGA, depth: 2},
 		{engine: EngineAdaptive, split: SplitOracle, depth: 2},
 		{engine: EngineAdaptive, depth: 0}, // classic sequential executor
+		// The windowed rule used to allocate two activity planes per band
+		// per frame; through the fusion workspace it must allocate none.
+		{engine: EngineAdaptive, depth: 2, rule: RuleWindowEnergy},
+		// The tiled multi-worker kernel path: dispatch through reusable
+		// task boxes and per-worker pooled scratch must stay 0-alloc too.
+		{engine: EngineNEON, depth: 2, rule: RuleWindowEnergy, workers: 4},
 	} {
 		name := fmt.Sprintf("%s%s/depth%d", tc.engine, tc.split, tc.depth)
+		if tc.rule != nil {
+			name += "/" + tc.rule.Name()
+		}
+		if tc.workers > 0 {
+			name += fmt.Sprintf("/workers%d", tc.workers)
+		}
 		t.Run(name, func(t *testing.T) {
+			if tc.workers > 1 {
+				prev := runtime.GOMAXPROCS(tc.workers)
+				defer runtime.GOMAXPROCS(prev)
+			}
 			fu, err := New(Options{
 				Engine:        tc.engine,
 				SplitPolicy:   tc.split,
 				IncludeIO:     true,
 				PipelineDepth: tc.depth,
+				Rule:          tc.rule,
+				KernelWorkers: tc.workers,
 			})
 			if err != nil {
 				t.Fatal(err)

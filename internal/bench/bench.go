@@ -154,6 +154,9 @@ func All() []Experiment {
 		{ID: "mem-steadystate", Title: "Extension — zero-copy frame stores: allocs/frame, GC and arena footprint, 1-64 streams",
 			Run:  RunMemSteadyState,
 			JSON: func() (any, error) { return MemSteadyState() }},
+		{ID: "kernel-speedup", Title: "Extension — tiled multi-core kernel engine vs scalar baseline: wall-clock, outputs pinned",
+			Run:  RunKernelSpeedup,
+			JSON: func() (any, error) { return KernelSpeedup() }},
 	}
 	return exps // declaration order
 }

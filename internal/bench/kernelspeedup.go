@@ -1,0 +1,169 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"time"
+
+	"zynqfusion/internal/engine"
+	"zynqfusion/internal/frame"
+	"zynqfusion/internal/pipeline"
+)
+
+// KernelSpeedupCell is one wall-clock comparison of the tiled multi-worker
+// kernel engine against the scalar baseline (the NEON engine pinned to its
+// emulated per-instruction unit, the pre-kernel-engine execution path) on
+// the same frame sequence. The modeled platform must be oblivious to the
+// host-side execution strategy, so the cell also records whether the fused
+// pixels and the accumulated modeled StageTimes matched bit for bit.
+type KernelSpeedupCell struct {
+	Size            string  `json:"size"`
+	Frames          int     `json:"frames"`
+	Workers         int     `json:"workers"` // tiled run's pool size (= host cores)
+	ScalarWallMS    float64 `json:"scalar_wall_ms"`
+	TiledWallMS     float64 `json:"tiled_wall_ms"`
+	Speedup         float64 `json:"speedup"`
+	PixelsIdentical bool    `json:"pixels_identical"`
+	StagesIdentical bool    `json:"stages_identical"`
+}
+
+// KernelSpeedupResult is the kernel-speedup experiment's structured record.
+type KernelSpeedupResult struct {
+	Schema     string              `json:"schema"`
+	Experiment string              `json:"experiment"`
+	Cores      int                 `json:"cores"` // GOMAXPROCS during the run
+	Cells      []KernelSpeedupCell `json:"cells"`
+}
+
+// kernelSpeedupAxes returns the (size, frames) grid, trimmed in Short mode.
+func kernelSpeedupAxes() []struct {
+	size   Size
+	frames int
+} {
+	if Short {
+		return []struct {
+			size   Size
+			frames int
+		}{{Size{320, 180}, 3}}
+	}
+	return []struct {
+		size   Size
+		frames int
+	}{{Size{320, 180}, 8}, {Size{1920, 1080}, 3}}
+}
+
+// runKernelVariant fuses frames pairs at s on one NEON pipeline and returns
+// the wall-clock per measured frame, the accumulated modeled stage record,
+// and the final fused frame (caller releases). emulated selects the scalar
+// baseline unit; workers sizes the kernel pool (0 = GOMAXPROCS).
+func runKernelVariant(s Size, frames int, emulated bool, workers int) (float64, pipeline.StageTimes, *frame.Frame, error) {
+	var eng engine.Engine
+	if emulated {
+		eng = engine.NewNEONEmulated(false)
+	} else {
+		eng = engine.NewNEON(false)
+	}
+	fu := pipeline.New(eng, pipeline.Config{IncludeIO: true, KernelWorkers: workers})
+	defer fu.Close()
+	vis, ir := SourcePair(s)
+	warm, _, err := fu.FuseFrames(vis, ir) // lease planes, spawn workers
+	if err != nil {
+		return 0, pipeline.StageTimes{}, nil, err
+	}
+	warm.Release()
+	var acc pipeline.StageTimes
+	var last *frame.Frame
+	start := time.Now()
+	for i := 0; i < frames; i++ {
+		out, st, err := fu.FuseFrames(vis, ir)
+		if err != nil {
+			return 0, pipeline.StageTimes{}, nil, err
+		}
+		acc.Add(st)
+		if i == frames-1 {
+			last = out
+		} else {
+			out.Release()
+		}
+	}
+	wallMS := float64(time.Since(start).Microseconds()) / 1e3 / float64(frames)
+	return wallMS, acc, last, nil
+}
+
+// MeasureKernelSpeedupCell runs the scalar baseline and the tiled engine at
+// workers = host cores over the same frames and compares their outputs.
+func MeasureKernelSpeedupCell(s Size, frames int) (KernelSpeedupCell, error) {
+	scalarMS, scalarSt, scalarOut, err := runKernelVariant(s, frames, true, 1)
+	if err != nil {
+		return KernelSpeedupCell{}, err
+	}
+	defer scalarOut.Release()
+	tiledMS, tiledSt, tiledOut, err := runKernelVariant(s, frames, false, 0)
+	if err != nil {
+		return KernelSpeedupCell{}, err
+	}
+	defer tiledOut.Release()
+	cell := KernelSpeedupCell{
+		Size:            s.String(),
+		Frames:          frames,
+		Workers:         runtime.GOMAXPROCS(0),
+		ScalarWallMS:    scalarMS,
+		TiledWallMS:     tiledMS,
+		PixelsIdentical: true,
+		StagesIdentical: scalarSt == tiledSt,
+	}
+	if tiledMS > 0 {
+		cell.Speedup = scalarMS / tiledMS
+	}
+	for i := range scalarOut.Pix {
+		if math.Float32bits(scalarOut.Pix[i]) != math.Float32bits(tiledOut.Pix[i]) {
+			cell.PixelsIdentical = false
+			break
+		}
+	}
+	return cell, nil
+}
+
+// KernelSpeedup runs the tiled-kernel wall-clock experiment: the blocked,
+// BCE-clean, goroutine-parallel hot loops against the scalar baseline,
+// with the modeled outputs pinned identical. Speedup scales with host
+// cores (the worker pool is capped at GOMAXPROCS), so the recorded figure
+// is a property of the machine that ran the benchmark — the Cores field
+// says which — while the identical-output columns must hold everywhere.
+func KernelSpeedup() (KernelSpeedupResult, error) {
+	res := KernelSpeedupResult{
+		Schema:     ResultSchema,
+		Experiment: "kernel-speedup",
+		Cores:      runtime.GOMAXPROCS(0),
+	}
+	for _, ax := range kernelSpeedupAxes() {
+		cell, err := MeasureKernelSpeedupCell(ax.size, ax.frames)
+		if err != nil {
+			return res, fmt.Errorf("bench: kernel speedup %s: %w", ax.size, err)
+		}
+		res.Cells = append(res.Cells, cell)
+	}
+	return res, nil
+}
+
+// RunKernelSpeedup prints the tiled-kernel wall-clock experiment.
+func RunKernelSpeedup(w io.Writer) error {
+	res, err := KernelSpeedup()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "tiled kernel engine vs scalar baseline (NEON model, %d host cores):\n", res.Cores)
+	fmt.Fprintf(w, "%-12s %7s %8s %16s %16s %9s %8s %8s\n",
+		"size", "frames", "workers", "scalar(ms/f)", "tiled(ms/f)", "speedup", "pixels", "stages")
+	okStr := map[bool]string{true: "same", false: "DIFFER"}
+	for _, c := range res.Cells {
+		fmt.Fprintf(w, "%-12s %7d %8d %16.2f %16.2f %8.2fx %8s %8s\n",
+			c.Size, c.Frames, c.Workers, c.ScalarWallMS, c.TiledWallMS, c.Speedup,
+			okStr[c.PixelsIdentical], okStr[c.StagesIdentical])
+	}
+	fmt.Fprintln(w, "pixels and modeled StageTimes are required bit-identical: worker count is")
+	fmt.Fprintln(w, "host scheduling only, never part of the modeled platform")
+	return nil
+}

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"zynqfusion/internal/dvfs"
+	"zynqfusion/internal/kernels"
 	"zynqfusion/internal/signal"
 	"zynqfusion/internal/sim"
 )
@@ -32,14 +33,36 @@ func (a *ARM) Name() string { return "arm" }
 
 // Analyze implements signal.Kernel with scalar loops.
 func (a *ARM) Analyze(al, ah *signal.Taps, px []float32, lo, hi []float32) {
-	signal.AnalyzeRef(al, ah, px, lo, hi)
-	a.cycles += ARMRowOverheadCycles + ARMFwdPairCycles*float64(len(lo))
+	a.AnalyzeTile(al, ah, px, lo, hi)
+	a.ChargeAnalyzeRow(len(lo))
 }
 
 // Synthesize implements signal.Kernel with scalar loops.
 func (a *ARM) Synthesize(sl, sh *signal.Taps, plo, phi []float32, out []float32) {
-	signal.SynthesizeRef(sl, sh, plo, phi, out)
-	a.cycles += ARMRowOverheadCycles + ARMInvPairCycles*float64(len(out)/2)
+	a.SynthesizeTile(sl, sh, plo, phi, out)
+	a.ChargeSynthesizeRow(len(out) / 2)
+}
+
+// AnalyzeTile implements kernels.TileKernel: pure compute via the
+// BCE-clean mirror of the scalar reference, safe for concurrent rows.
+func (a *ARM) AnalyzeTile(al, ah *signal.Taps, px, lo, hi []float32) {
+	kernels.AnalyzeRef(al, ah, px, lo, hi)
+}
+
+// SynthesizeTile implements kernels.TileKernel.
+func (a *ARM) SynthesizeTile(sl, sh *signal.Taps, plo, phi, out []float32) {
+	kernels.SynthesizeRef(sl, sh, plo, phi, out)
+}
+
+// ChargeAnalyzeRow implements kernels.TileKernel: the modeled cost of
+// one analysis row of m output pairs.
+func (a *ARM) ChargeAnalyzeRow(m int) {
+	a.cycles += ARMRowOverheadCycles + ARMFwdPairCycles*float64(m)
+}
+
+// ChargeSynthesizeRow implements kernels.TileKernel.
+func (a *ARM) ChargeSynthesizeRow(m int) {
+	a.cycles += ARMRowOverheadCycles + ARMInvPairCycles*float64(m)
 }
 
 // ChargeCPU implements Engine.

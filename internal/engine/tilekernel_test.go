@@ -1,0 +1,161 @@
+package engine
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"zynqfusion/internal/kernels"
+	"zynqfusion/internal/signal"
+)
+
+// These tests pin the kernel-engine determinism contract at the engine
+// layer: the fast default path, the emulated baseline path, and the
+// TileKernel compute+charge replay must agree byte-for-byte on pixels,
+// modeled cycles, and the NEON instruction ledger.
+
+func tileTestData(seed int64, m int) (al, ah signal.Taps, px, plo, phi []float32) {
+	rng := rand.New(rand.NewSource(seed))
+	for i := range al {
+		al[i] = float32(rng.NormFloat64())
+		ah[i] = float32(rng.NormFloat64())
+	}
+	px = make([]float32, 2*m+signal.TapCount)
+	for i := range px {
+		px[i] = float32(rng.NormFloat64() * 50)
+	}
+	plo = make([]float32, m+signal.SynthesisPad)
+	phi = make([]float32, m+signal.SynthesisPad)
+	for i := range plo {
+		plo[i] = float32(rng.NormFloat64() * 50)
+		phi[i] = float32(rng.NormFloat64() * 50)
+	}
+	return
+}
+
+func TestNEONFastMatchesEmulated(t *testing.T) {
+	for _, manual := range []bool{false, true} {
+		for _, m := range []int{1, 3, 4, 7, 16, 31, 240} {
+			al, ah, px, plo, phi := tileTestData(int64(m), m)
+
+			fast := NewNEON(manual)
+			emu := NewNEONEmulated(manual)
+			if !emu.emulate || fast.emulate {
+				t.Fatal("constructor emulate flags wrong")
+			}
+			if emu.TilingEnabled() || !fast.TilingEnabled() {
+				t.Fatal("TilingEnabled gates inverted")
+			}
+
+			fLo, fHi := make([]float32, m), make([]float32, m)
+			eLo, eHi := make([]float32, m), make([]float32, m)
+			fast.Analyze(&al, &ah, px, fLo, fHi)
+			emu.Analyze(&al, &ah, px, eLo, eHi)
+			fOut, eOut := make([]float32, 2*m), make([]float32, 2*m)
+			fast.Synthesize(&al, &ah, plo, phi, fOut)
+			emu.Synthesize(&al, &ah, plo, phi, eOut)
+
+			for i := range fLo {
+				if math.Float32bits(fLo[i]) != math.Float32bits(eLo[i]) ||
+					math.Float32bits(fHi[i]) != math.Float32bits(eHi[i]) {
+					t.Fatalf("manual=%v m=%d: analyze pixel %d differs", manual, m, i)
+				}
+			}
+			for i := range fOut {
+				if math.Float32bits(fOut[i]) != math.Float32bits(eOut[i]) {
+					t.Fatalf("manual=%v m=%d: synthesize pixel %d differs", manual, m, i)
+				}
+			}
+			if fast.cycles != emu.cycles {
+				t.Fatalf("manual=%v m=%d: cycles %v != emulated %v", manual, m, fast.cycles, emu.cycles)
+			}
+			if fast.Unit().C != emu.Unit().C {
+				t.Fatalf("manual=%v m=%d: ledger %+v != emulated %+v", manual, m, fast.Unit().C, emu.Unit().C)
+			}
+		}
+	}
+}
+
+// TestTileKernelReplayMatchesSequential splits rows into arbitrary tile
+// schedules and checks that compute-tiles + in-order charge replay
+// reproduces the sequential engine exactly.
+func TestTileKernelReplayMatchesSequential(t *testing.T) {
+	engines := map[string]func() signal.Kernel{
+		"arm":         func() signal.Kernel { return NewARM() },
+		"neon-auto":   func() signal.Kernel { return NewNEON(false) },
+		"neon-manual": func() signal.Kernel { return NewNEON(true) },
+	}
+	const rows, m = 13, 17
+	for name, mk := range engines {
+		seqEng := mk()
+		tileEng := mk()
+		tk, ok := kernels.AsTile(tileEng)
+		if !ok {
+			t.Fatalf("%s: engine does not provide TileKernel", name)
+		}
+
+		var al, ah signal.Taps
+		pxs := make([][]float32, rows)
+		for r := range pxs {
+			a2, h2, px, _, _ := tileTestData(int64(r+99), m)
+			if r == 0 {
+				al, ah = a2, h2
+			}
+			pxs[r] = px
+		}
+		seqLo := make([][]float32, rows)
+		seqHi := make([][]float32, rows)
+		tileLo := make([][]float32, rows)
+		tileHi := make([][]float32, rows)
+		for r := 0; r < rows; r++ {
+			seqLo[r], seqHi[r] = make([]float32, m), make([]float32, m)
+			tileLo[r], tileHi[r] = make([]float32, m), make([]float32, m)
+		}
+
+		for r := 0; r < rows; r++ {
+			seqEng.Analyze(&al, &ah, pxs[r], seqLo[r], seqHi[r])
+		}
+		// Tiled: compute rows in a scrambled order, then replay charges
+		// in canonical order.
+		order := rand.New(rand.NewSource(5)).Perm(rows)
+		for _, r := range order {
+			tk.AnalyzeTile(&al, &ah, pxs[r], tileLo[r], tileHi[r])
+		}
+		for r := 0; r < rows; r++ {
+			tk.ChargeAnalyzeRow(m)
+		}
+
+		for r := 0; r < rows; r++ {
+			for i := 0; i < m; i++ {
+				if math.Float32bits(seqLo[r][i]) != math.Float32bits(tileLo[r][i]) ||
+					math.Float32bits(seqHi[r][i]) != math.Float32bits(tileHi[r][i]) {
+					t.Fatalf("%s: tiled pixels differ at row %d idx %d", name, r, i)
+				}
+			}
+		}
+
+		seqC := cyclesOf(t, seqEng)
+		tileC := cyclesOf(t, tileEng)
+		if seqC != tileC {
+			t.Fatalf("%s: tiled cycles %v != sequential %v", name, tileC, seqC)
+		}
+		if sn, ok := seqEng.(*NEON); ok {
+			tn := tileEng.(*NEON)
+			if sn.Unit().C != tn.Unit().C {
+				t.Fatalf("%s: tiled ledger differs from sequential", name)
+			}
+		}
+	}
+}
+
+func cyclesOf(t *testing.T, k signal.Kernel) float64 {
+	t.Helper()
+	switch e := k.(type) {
+	case *ARM:
+		return e.cycles
+	case *NEON:
+		return e.cycles
+	}
+	t.Fatal("unknown engine type")
+	return 0
+}

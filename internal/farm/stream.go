@@ -82,6 +82,14 @@ type StreamConfig struct {
 	// declare nothing for this id). A declared deadline SLI requires
 	// DeadlineMS.
 	SLO *slo.SLO `json:"slo,omitempty"`
+	// KernelWorkers sizes the goroutine pool the stream's wavelet and
+	// fusion hot loops tile across: 0 selects GOMAXPROCS, 1 pins the
+	// stream sequential, larger values are capped at GOMAXPROCS. Worker
+	// count is host-side scheduling only — fused pixels, modeled stage
+	// times and energy are bit-identical at every setting — so it trades
+	// host CPU between streams without touching the platform model.
+	// Negative values are rejected at Submit.
+	KernelWorkers int `json:"kernel_workers"`
 }
 
 func (c StreamConfig) withDefaults() StreamConfig {
@@ -316,6 +324,9 @@ func newStream(cfg StreamConfig, gov *Governor, pool *bufpool.Pool, ring *obs.Ev
 	if cfg.Depth > 0 && !cfg.Pipelined {
 		return nil, fmt.Errorf("farm: pipeline_depth %d requires pipelined: true", cfg.Depth)
 	}
+	if cfg.KernelWorkers < 0 {
+		return nil, fmt.Errorf("farm: kernel_workers must be non-negative, got %d (zero selects GOMAXPROCS)", cfg.KernelWorkers)
+	}
 	cfg = cfg.withDefaults()
 	if cfg.W <= 0 || cfg.H <= 0 {
 		return nil, fmt.Errorf("farm: bad stream geometry %dx%d", cfg.W, cfg.H)
@@ -467,7 +478,10 @@ func ProbeFrameTime(cfg StreamConfig, op dvfs.OperatingPoint) (sim.Time, error) 
 		return 0, fmt.Errorf("farm: probe capture: %w", err)
 	}
 	ad := sched.NewAdaptiveAt(sched.Governed{Inner: inner, Gate: openGate{}}, op)
-	fu := pipeline.New(ad, pipeline.Config{Levels: cfg.Levels, Rule: rule, IncludeIO: true})
+	// KernelWorkers is pinned to 1: worker count never changes the modeled
+	// prediction, and this throwaway fuser is never Closed, so a wider pool
+	// would strand its parked helper goroutines.
+	fu := pipeline.New(ad, pipeline.Config{Levels: cfg.Levels, Rule: rule, IncludeIO: true, KernelWorkers: 1})
 	_, st, err := fu.FuseFrames(vis, ir)
 	if err != nil {
 		return 0, fmt.Errorf("farm: probe at %s: %w", op.Name, err)
@@ -512,7 +526,9 @@ func ProbePipelinePeriod(cfg StreamConfig, op dvfs.OperatingPoint) (sim.Time, er
 		return 0, fmt.Errorf("farm: probe capture: %w", err)
 	}
 	ad := sched.NewAdaptiveAt(sched.Governed{Inner: inner, Gate: openGate{}}, op)
-	pp, err := pipeline.NewPipelined(pipeline.New(ad, pipeline.Config{Levels: cfg.Levels, Rule: rule, IncludeIO: true}), cfg.Depth)
+	// KernelWorkers 1 for the same reason as ProbeFrameTime: the probe
+	// fuser is never Closed.
+	pp, err := pipeline.NewPipelined(pipeline.New(ad, pipeline.Config{Levels: cfg.Levels, Rule: rule, IncludeIO: true, KernelWorkers: 1}), cfg.Depth)
 	if err != nil {
 		return 0, fmt.Errorf("farm: probe at %s: %w", op.Name, err)
 	}
@@ -589,7 +605,10 @@ func (s *Stream) fuserAt(op dvfs.OperatingPoint) *opFuser {
 	of := &opFuser{
 		op:       op,
 		adaptive: ad,
-		fuser:    pipeline.New(ad, pipeline.Config{Levels: s.cfg.Levels, Rule: s.rule, IncludeIO: true, Pool: s.pool}),
+		fuser: pipeline.New(ad, pipeline.Config{
+			Levels: s.cfg.Levels, Rule: s.rule, IncludeIO: true,
+			Pool: s.pool, KernelWorkers: s.cfg.KernelWorkers,
+		}),
 		lastRows: make(map[string]int64),
 		lastTime: make(map[string]sim.Time),
 	}

@@ -1,0 +1,68 @@
+package kernels
+
+import "zynqfusion/internal/signal"
+
+// Fast periodic-extension builders. signal.PadPeriodic computes a mod
+// per element; for the common case (signal at least as long as the
+// wrap-around region) the same result is three straight copies. Pure
+// data movement, so bit-identity with the signal versions is
+// structural; tiny signals where the extension wraps more than once
+// fall back to the reference. The fallbacks are called through
+// variables so their mod-indexed loops are not inlined into this
+// (check_bce-clean) package.
+
+var (
+	padPeriodicRef      = signal.PadPeriodic
+	padPeriodicPairsRef = signal.PadPeriodicPairs
+)
+
+// PadPeriodic is the fast equivalent of signal.PadPeriodic:
+// px[i] = x[(i-AnalysisPad) mod n], len(px) = n + TapCount.
+func PadPeriodic(x, px []float32) []float32 {
+	n := len(x)
+	if n == 0 || n%2 != 0 {
+		panic("kernels.PadPeriodic: signal length must be even and nonzero")
+	}
+	need := n + signal.TapCount
+	if need < signal.TapCount { // n + TapCount overflowed
+		return padPeriodicRef(x, px)
+	}
+	px = px[:cap(px)]
+	if len(px) < need {
+		px = make([]float32, need)
+	} else {
+		px = px[:need]
+	}
+	if n < signal.AnalysisPad || len(px) != need {
+		return padPeriodicRef(x, px)
+	}
+	copy(px[:signal.AnalysisPad], x[n-signal.AnalysisPad:])
+	copy(px[signal.AnalysisPad:], x)
+	copy(px[len(px)-(signal.TapCount-signal.AnalysisPad):], x[:signal.TapCount-signal.AnalysisPad])
+	return px
+}
+
+// PadPeriodicPairs is the fast equivalent of signal.PadPeriodicPairs:
+// p[i] = c[(i-SynthesisPad) mod m], len(p) = m + SynthesisPad.
+func PadPeriodicPairs(c, p []float32) []float32 {
+	m := len(c)
+	if m == 0 {
+		panic("kernels.PadPeriodicPairs: empty subband")
+	}
+	need := m + signal.SynthesisPad
+	if need < signal.SynthesisPad { // m + SynthesisPad overflowed
+		return padPeriodicPairsRef(c, p)
+	}
+	p = p[:cap(p)]
+	if len(p) < need {
+		p = make([]float32, need)
+	} else {
+		p = p[:need]
+	}
+	if m < signal.SynthesisPad || len(p) != need {
+		return padPeriodicPairsRef(c, p)
+	}
+	copy(p[:signal.SynthesisPad], c[m-signal.SynthesisPad:])
+	copy(p[signal.SynthesisPad:], c)
+	return p
+}

@@ -13,6 +13,7 @@ import (
 	"zynqfusion/internal/engine"
 	"zynqfusion/internal/frame"
 	"zynqfusion/internal/fusion"
+	"zynqfusion/internal/kernels"
 	"zynqfusion/internal/sim"
 	"zynqfusion/internal/wavelet"
 )
@@ -36,6 +37,14 @@ type Config struct {
 	// stores. Nil builds a private unbounded pool; bufpool.Passthrough()
 	// selects the allocating baseline the golden tests compare against.
 	Pool *bufpool.Pool
+	// KernelWorkers sizes the worker pool the wavelet and fusion hot
+	// loops tile across: 0 selects GOMAXPROCS, 1 runs fully sequential,
+	// and any value is capped at GOMAXPROCS. Worker count never changes
+	// results — compute runs in disjoint tiles and all modeled accounting
+	// replays in sequential order — so pixels, StageTimes and energy are
+	// byte-identical at any setting. The pool's helper goroutines spawn
+	// lazily on the first parallel pass and are parked by Close.
+	KernelWorkers int
 }
 
 // DefaultLevels is the decomposition depth a zero Config.Levels selects.
@@ -122,10 +131,12 @@ type laneDrainer interface {
 
 // Fuser runs the fusion pipeline on one engine.
 type Fuser struct {
-	eng  engine.Engine
-	dt   *wavelet.DTCWT
-	cfg  Config
-	pool *bufpool.Pool
+	eng     engine.Engine
+	dt      *wavelet.DTCWT
+	cfg     Config
+	pool    *bufpool.Pool
+	workers *kernels.Workers
+	fws     *fusion.Workspace
 
 	// Hot-path workspaces, reused frame over frame like the board's fixed
 	// transform frame stores: the two source pyramids and the fused one.
@@ -139,14 +150,20 @@ func New(eng engine.Engine, cfg Config) *Fuser {
 	if pool == nil {
 		pool = bufpool.New(bufpool.Options{})
 	}
+	workers := kernels.NewWorkers(cfg.KernelWorkers)
+	x := wavelet.NewXfm(eng)
+	x.SetWorkers(workers)
+	x.UseScratchPool(pool)
 	return &Fuser{
-		eng:   eng,
-		dt:    wavelet.NewDTCWTPooled(wavelet.NewXfm(eng), cfg.Banks, pool),
-		cfg:   cfg,
-		pool:  pool,
-		pa:    &wavelet.DTPyramid{},
-		pb:    &wavelet.DTPyramid{},
-		fused: &wavelet.DTPyramid{},
+		eng:     eng,
+		dt:      wavelet.NewDTCWTPooled(x, cfg.Banks, pool),
+		cfg:     cfg,
+		pool:    pool,
+		workers: workers,
+		fws:     fusion.NewWorkspace(pool, workers),
+		pa:      &wavelet.DTPyramid{},
+		pb:      &wavelet.DTPyramid{},
+		fused:   &wavelet.DTPyramid{},
 	}
 }
 
@@ -159,14 +176,19 @@ func (f *Fuser) Config() Config { return f.cfg }
 // Pool returns the fuser's frame-store arena.
 func (f *Fuser) Pool() *bufpool.Pool { return f.pool }
 
-// Close releases the fuser's workspace pyramids back to the pool. After
-// Close (and after releasing any fused frames still held), the pool's
-// Outstanding count returns to zero — the leak detector's invariant. The
-// fuser remains usable; the workspaces are reshaped on the next frame.
+// Close releases the fuser's workspace pyramids and scratch back to the
+// pool and parks the kernel worker goroutines. After Close (and after
+// releasing any fused frames still held), the pool's Outstanding count
+// returns to zero — the leak detector's invariant. The fuser remains
+// usable; workspaces are reshaped, scratch re-leased and workers
+// respawned on the next frame.
 func (f *Fuser) Close() {
 	f.pa.Release()
 	f.pb.Release()
 	f.fused.Release()
+	f.dt.X.ReleaseScratch()
+	f.fws.Release()
+	f.workers.Close()
 }
 
 // drain returns the engine time consumed since the last drain.
@@ -229,7 +251,7 @@ func (f *Fuser) FuseFrames(vis, ir *frame.Frame) (*frame.Frame, StageTimes, erro
 	if err := f.dt.ShapePyramid(f.fused, vis.W, vis.H, levels); err != nil {
 		return nil, st, err
 	}
-	if err := fusion.FuseInto(f.cfg.Rule, f.fused, f.pa, f.pb); err != nil {
+	if err := fusion.FuseIntoWorkspace(f.fws, f.cfg.Rule, f.fused, f.pa, f.pb); err != nil {
 		return nil, st, err
 	}
 	f.eng.ChargeCPUCycles(px * engine.FusionRuleCyclesPerPixel)

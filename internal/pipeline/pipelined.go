@@ -91,7 +91,7 @@ func stageGraph(includeIO bool) []Stage {
 			if err := f.dt.ShapePyramid(f.fused, c.vis.W, c.vis.H, f.cfg.Levels); err != nil {
 				return err
 			}
-			if err := fusion.FuseInto(f.cfg.Rule, f.fused, c.pa, c.pb); err != nil {
+			if err := fusion.FuseIntoWorkspace(f.fws, f.cfg.Rule, f.fused, c.pa, c.pb); err != nil {
 				return err
 			}
 			c.fusedPyr = f.fused

@@ -7,6 +7,7 @@ import (
 
 	"zynqfusion/internal/bufpool"
 	"zynqfusion/internal/frame"
+	"zynqfusion/internal/kernels"
 )
 
 // The dual tree runs four separable decompositions, one per (row tree,
@@ -403,14 +404,12 @@ func (t *DTCWT) Inverse(p *DTPyramid) (*frame.Frame, error) {
 			rec.Release()
 			return nil, errors.New("wavelet.DTCWT: tree reconstruction size mismatch")
 		}
-		for i := range acc.Pix {
-			acc.Pix[i] += rec.Pix[i]
-		}
+		t.X.pixAcc = accTask{dst: acc.Pix, src: rec.Pix}
+		t.X.W.Run(len(acc.Pix), kernels.Grain(len(acc.Pix), 8, t.X.W.N()), &t.X.pixAcc)
 		rec.Release()
 	}
-	for i := range acc.Pix {
-		acc.Pix[i] *= 1.0 / numTrees
-	}
+	t.X.pixScale = scaleTask{dst: acc.Pix}
+	t.X.W.Run(len(acc.Pix), kernels.Grain(len(acc.Pix), 4, t.X.W.N()), &t.X.pixScale)
 	t.X.chargeCPU(numTrees * len(acc.Pix))
 	return acc, nil
 }
@@ -447,14 +446,11 @@ func combineLevelInto(x *Xfm, trees [numTrees]*Decomp, lv int, out *DTLevel) {
 		s := bandOf(trees[TreeBA], lv, bi)
 		z1 := out.Bands[bi]
 		z2 := out.Bands[5-bi]
-		for i := range p.Pix {
-			pp, qq, rr, ss := p.Pix[i], q.Pix[i], r.Pix[i], s.Pix[i]
-			z1.Re[i] = (pp - qq) * invSqrt2
-			z1.Im[i] = (rr + ss) * invSqrt2
-			z2.Re[i] = (pp + qq) * invSqrt2
-			z2.Im[i] = (ss - rr) * invSqrt2
-		}
-		x.chargeCPU(4 * len(p.Pix))
+		n := len(p.Pix)
+		x.q2c = q2cTask{p: p.Pix, q: q.Pix, r: r.Pix, s: s.Pix,
+			z1re: z1.Re, z1im: z1.Im, z2re: z2.Re, z2im: z2.Im}
+		x.W.Run(n, kernels.Grain(n, 32, x.W.N()), &x.q2c)
+		x.chargeCPU(4 * n)
 	}
 }
 
@@ -469,13 +465,11 @@ func distributeLevel(x *Xfm, trees [numTrees]*Decomp, l DTLevel, lv int) {
 		q := bandOf(trees[TreeBB], lv, bi)
 		r := bandOf(trees[TreeAB], lv, bi)
 		s := bandOf(trees[TreeBA], lv, bi)
-		for i := range p.Pix {
-			p.Pix[i] = (z1.Re[i] + z2.Re[i]) * invSqrt2
-			q.Pix[i] = (z2.Re[i] - z1.Re[i]) * invSqrt2
-			r.Pix[i] = (z1.Im[i] - z2.Im[i]) * invSqrt2
-			s.Pix[i] = (z1.Im[i] + z2.Im[i]) * invSqrt2
-		}
-		x.chargeCPU(4 * len(p.Pix))
+		n := len(p.Pix)
+		x.c2q = c2qTask{z1re: z1.Re, z1im: z1.Im, z2re: z2.Re, z2im: z2.Im,
+			p: p.Pix, q: q.Pix, r: r.Pix, s: s.Pix}
+		x.W.Run(n, kernels.Grain(n, 32, x.W.N()), &x.c2q)
+		x.chargeCPU(4 * n)
 	}
 }
 

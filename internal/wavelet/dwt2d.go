@@ -211,10 +211,14 @@ func forwardLevelInto(x *Xfm, rowBank, colBank *Bank, img, ll *frame.Frame, b Ba
 		}
 		return err
 	}
-	for y := 0; y < h; y++ {
-		row := p.Row(y)
-		out := rowOut.Row(y)
-		x.Analyze1D(rowBank, row, out[:mw], out[mw:])
+	if x.tiledKernels() {
+		x.forwardRowsTiled(rowBank, p, rowOut, w, h, mw)
+	} else {
+		for y := 0; y < h; y++ {
+			row := p.Row(y)
+			out := rowOut.Row(y)
+			x.Analyze1D(rowBank, row, out[:mw], out[mw:])
+		}
 	}
 	if padOwned != nil {
 		padOwned.Release()
@@ -222,14 +226,20 @@ func forwardLevelInto(x *Xfm, rowBank, colBank *Bank, img, ll *frame.Frame, b Ba
 
 	// Vertical pass on each column of both halves.
 	hl, lh, hh := b.HL, b.LH, b.HH
+	if x.tiledKernels() {
+		x.forwardColsTiled(colBank, rowOut, ll.Pix, lh.Pix, hl.Pix, hh.Pix, w, h, mw, mh)
+		rowOut.Release()
+		return nil
+	}
 	col := growCol(x, h)
+	clo := x.lo.grow(x.pool, mh)
+	chi := x.hi.grow(x.pool, mh)
 	for cx := 0; cx < w; cx++ {
 		for y := 0; y < h; y++ {
 			col[y] = rowOut.Pix[y*w+cx]
 		}
 		x.chargeCPU(h)
-		lo, hi := x.Analyze1D(colBank, col, x.lo, x.hi)
-		x.lo, x.hi = lo, hi
+		lo, hi := x.Analyze1D(colBank, col, clo, chi)
 		if cx < mw {
 			for y := 0; y < mh; y++ {
 				ll.Pix[y*mw+cx] = lo[y]
@@ -297,41 +307,50 @@ func inverseLevelPooled(x *Xfm, rowBank, colBank *Bank, ll *frame.Frame, b Bands
 	if err != nil {
 		return nil, err
 	}
-	loCol := growCol(x, mh)
-	hiCol := growHiCol(x, mh)
-	for cx := 0; cx < mw; cx++ {
-		for y := 0; y < mh; y++ {
-			loCol[y] = ll.Pix[y*mw+cx]
-			hiCol[y] = b.LH.Pix[y*mw+cx]
+	if x.tiledKernels() {
+		x.inverseColsTiled(colBank, ll.Pix, b.LH.Pix, rowOut, w, h, mw, mh, 0)
+		x.inverseColsTiled(colBank, b.HL.Pix, b.HH.Pix, rowOut, w, h, mw, mh, mw)
+		x.inverseRowsTiled(rowBank, rowOut, w, h, mw)
+	} else {
+		loCol := growCol(x, mh)
+		hiCol := growHiCol(x, mh)
+		y2 := x.y2.grow(x.pool, h)
+		for cx := 0; cx < mw; cx++ {
+			for y := 0; y < mh; y++ {
+				loCol[y] = ll.Pix[y*mw+cx]
+				hiCol[y] = b.LH.Pix[y*mw+cx]
+			}
+			x.chargeCPU(2 * mh)
+			y2 = x.Synthesize1D(colBank, loCol, hiCol, y2)
+			for y := 0; y < h; y++ {
+				rowOut.Pix[y*w+cx] = y2[y]
+			}
+			x.chargeCPU(h)
 		}
-		x.chargeCPU(2 * mh)
-		x.y2 = x.Synthesize1D(colBank, loCol, hiCol, x.y2)
-		for y := 0; y < h; y++ {
-			rowOut.Pix[y*w+cx] = x.y2[y]
+		for cx := 0; cx < mw; cx++ {
+			for y := 0; y < mh; y++ {
+				loCol[y] = b.HL.Pix[y*mw+cx]
+				hiCol[y] = b.HH.Pix[y*mw+cx]
+			}
+			x.chargeCPU(2 * mh)
+			y2 = x.Synthesize1D(colBank, loCol, hiCol, y2)
+			for y := 0; y < h; y++ {
+				rowOut.Pix[y*w+cx+mw] = y2[y]
+			}
+			x.chargeCPU(h)
 		}
-		x.chargeCPU(h)
-	}
-	for cx := 0; cx < mw; cx++ {
-		for y := 0; y < mh; y++ {
-			loCol[y] = b.HL.Pix[y*mw+cx]
-			hiCol[y] = b.HH.Pix[y*mw+cx]
-		}
-		x.chargeCPU(2 * mh)
-		x.y2 = x.Synthesize1D(colBank, loCol, hiCol, x.y2)
-		for y := 0; y < h; y++ {
-			rowOut.Pix[y*w+cx+mw] = x.y2[y]
-		}
-		x.chargeCPU(h)
-	}
 
-	// Horizontal synthesis row by row, in place: Synthesize1D consumes the
-	// subband halves into its padded scratch before any output is written,
-	// so writing the reconstruction back over the same row is safe.
-	for y := 0; y < h; y++ {
-		row := rowOut.Row(y)
-		x.y2 = x.Synthesize1D(rowBank, row[:mw], row[mw:], x.y2)
-		copy(row, x.y2)
-		x.chargeCPU(w)
+		// Horizontal synthesis row by row, in place: Synthesize1D consumes
+		// the subband halves into its padded scratch before any output is
+		// written, so writing the reconstruction back over the same row is
+		// safe.
+		y2 = x.y2.grow(x.pool, w)
+		for y := 0; y < h; y++ {
+			row := rowOut.Row(y)
+			y2 = x.Synthesize1D(rowBank, row[:mw], row[mw:], y2)
+			copy(row, y2)
+			x.chargeCPU(w)
+		}
 	}
 
 	if orig.w == w && orig.h == h {
@@ -377,13 +396,11 @@ func padEvenPooled(x *Xfm, img *frame.Frame, pool *bufpool.Pool) (padded, owned 
 }
 
 func growCol(x *Xfm, n int) []float32 {
-	x.col = grow(x.col, n)
-	return x.col
+	return x.col.grow(x.pool, n)
 }
 
 func growHiCol(x *Xfm, n int) []float32 {
-	x.hiCol = grow(x.hiCol, n)
-	return x.hiCol
+	return x.hiCol.grow(x.pool, n)
 }
 
 // Mosaic renders the classic subband layout picture (Fig. 1 of the paper):

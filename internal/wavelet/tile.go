@@ -1,0 +1,285 @@
+package wavelet
+
+import (
+	"zynqfusion/internal/frame"
+	"zynqfusion/internal/kernels"
+	"zynqfusion/internal/signal"
+)
+
+// Tiled 2-D passes: the separable wavelet levels restructured as
+// cache-blocked tile tasks over a kernels.Workers pool.
+//
+// Every pass follows the kernel engine's determinism contract: the
+// parallel region performs only pure compute (padding, gathers, the
+// engine's bit-identical tile kernels, scatters) into disjoint output
+// ranges, and all modeled accounting — the float64 cycle accumulators
+// whose addition order matters, and the NEON instruction ledger — is
+// replayed sequentially afterwards in exactly the order the sequential
+// loops in dwt2d.go charge it. A tiled level is therefore byte-identical
+// to a sequential one in pixels, cycles, StageTimes and ledger at any
+// worker count.
+
+// fwdRowsTask runs the horizontal analysis pass: row y of src pads into
+// per-worker scratch and filters into the left (lo) and right (hi) halves
+// of row y of dst.
+type fwdRowsTask struct {
+	x     *Xfm
+	bank  *Bank
+	src   *frame.Frame
+	dst   *frame.Frame
+	w, mw int
+}
+
+func (t *fwdRowsTask) Tile(lo, hi, worker int) {
+	x := t.x
+	ws := &x.ws[worker]
+	for y := lo; y < hi; y++ {
+		out := t.dst.Row(y)
+		px := kernels.PadPeriodic(t.src.Row(y), ws.px.buf)
+		x.tile.AnalyzeTile(&t.bank.AL, &t.bank.AH, px, out[:t.mw], out[t.mw:])
+	}
+}
+
+// forwardRowsTiled dispatches the horizontal analysis pass and replays
+// its charges: per row, the pad memcpy then the kernel row.
+func (x *Xfm) forwardRowsTiled(bank *Bank, src, dst *frame.Frame, w, h, mw int) {
+	ws := x.workspaces(x.W.N())
+	for i := range ws {
+		ws[i].px.grow(x.pool, w+signal.TapCount)
+	}
+	x.fwdRows = fwdRowsTask{x: x, bank: bank, src: src, dst: dst, w: w, mw: mw}
+	x.W.Run(h, kernels.Grain(h, 8*w, x.W.N()), &x.fwdRows)
+	for y := 0; y < h; y++ {
+		x.chargeCPU(w + signal.TapCount)
+		x.tile.ChargeAnalyzeRow(mw)
+	}
+}
+
+// fwdColsTask runs the vertical analysis pass: column cx of src gathers
+// into per-worker scratch, filters, and scatters into ll/lh (left half)
+// or hl/hh (right half).
+type fwdColsTask struct {
+	x              *Xfm
+	bank           *Bank
+	src            *frame.Frame
+	ll, lh, hl, hh []float32
+	w, h, mw, mh   int
+}
+
+func (t *fwdColsTask) Tile(lo, hi, worker int) {
+	x := t.x
+	ws := &x.ws[worker]
+	col := ws.col.buf[:t.h]
+	cl := ws.lo.buf[:t.mh]
+	ch := ws.hi.buf[:t.mh]
+	for cx := lo; cx < hi; cx++ {
+		for y := 0; y < t.h; y++ {
+			col[y] = t.src.Pix[y*t.w+cx]
+		}
+		px := kernels.PadPeriodic(col, ws.px.buf)
+		x.tile.AnalyzeTile(&t.bank.AL, &t.bank.AH, px, cl, ch)
+		if cx < t.mw {
+			for y := 0; y < t.mh; y++ {
+				t.ll[y*t.mw+cx] = cl[y]
+				t.lh[y*t.mw+cx] = ch[y]
+			}
+		} else {
+			for y := 0; y < t.mh; y++ {
+				t.hl[y*t.mw+cx-t.mw] = cl[y]
+				t.hh[y*t.mw+cx-t.mw] = ch[y]
+			}
+		}
+	}
+}
+
+// forwardColsTiled dispatches the vertical analysis pass and replays its
+// charges: per column, the gather, the pad, the kernel row and the
+// scatter.
+func (x *Xfm) forwardColsTiled(bank *Bank, src *frame.Frame, ll, lh, hl, hh []float32, w, h, mw, mh int) {
+	ws := x.workspaces(x.W.N())
+	for i := range ws {
+		ws[i].col.grow(x.pool, h)
+		ws[i].px.grow(x.pool, h+signal.TapCount)
+		ws[i].lo.grow(x.pool, mh)
+		ws[i].hi.grow(x.pool, mh)
+	}
+	x.fwdCols = fwdColsTask{x: x, bank: bank, src: src, ll: ll, lh: lh, hl: hl, hh: hh, w: w, h: h, mw: mw, mh: mh}
+	x.W.Run(w, kernels.Grain(w, 8*h, x.W.N()), &x.fwdCols)
+	for cx := 0; cx < w; cx++ {
+		x.chargeCPU(h)
+		x.chargeCPU(h + signal.TapCount)
+		x.tile.ChargeAnalyzeRow(mh)
+		x.chargeCPU(h)
+	}
+}
+
+// invColsTask runs one half of the vertical synthesis pass: column cx of
+// the lo/hi subband planes gathers, pads, synthesizes and
+// delay-compensates into column cx+dstOff of dst.
+type invColsTask struct {
+	x                    *Xfm
+	bank                 *Bank
+	loP, hiP             []float32
+	dst                  *frame.Frame
+	w, h, mw, mh, dstOff int
+}
+
+func (t *invColsTask) Tile(lo, hi, worker int) {
+	x := t.x
+	ws := &x.ws[worker]
+	loCol := ws.col.buf[:t.mh]
+	hiCol := ws.hiCol.buf[:t.mh]
+	y := ws.y.buf[:t.h]
+	y2 := ws.y2.buf[:t.h]
+	for cx := lo; cx < hi; cx++ {
+		for yy := 0; yy < t.mh; yy++ {
+			loCol[yy] = t.loP[yy*t.mw+cx]
+			hiCol[yy] = t.hiP[yy*t.mw+cx]
+		}
+		plo := kernels.PadPeriodicPairs(loCol, ws.plo.buf)
+		phi := kernels.PadPeriodicPairs(hiCol, ws.phi.buf)
+		x.tile.SynthesizeTile(&t.bank.SL, &t.bank.SH, plo, phi, y)
+		signal.Rotate(y2, y, t.bank.delay)
+		for yy := 0; yy < t.h; yy++ {
+			t.dst.Pix[yy*t.w+cx+t.dstOff] = y2[yy]
+		}
+	}
+}
+
+// inverseColsTiled dispatches one half of the vertical synthesis pass and
+// replays its charges: per column, the gather, the pads, the kernel row,
+// the delay rotation and the scatter — the exact sequence the sequential
+// loop charges through Synthesize1D.
+func (x *Xfm) inverseColsTiled(bank *Bank, loP, hiP []float32, dst *frame.Frame, w, h, mw, mh, dstOff int) {
+	ws := x.workspaces(x.W.N())
+	for i := range ws {
+		ws[i].col.grow(x.pool, mh)
+		ws[i].hiCol.grow(x.pool, mh)
+		ws[i].plo.grow(x.pool, mh+signal.SynthesisPad)
+		ws[i].phi.grow(x.pool, mh+signal.SynthesisPad)
+		ws[i].y.grow(x.pool, h)
+		ws[i].y2.grow(x.pool, h)
+	}
+	x.invCols = invColsTask{x: x, bank: bank, loP: loP, hiP: hiP, dst: dst, w: w, h: h, mw: mw, mh: mh, dstOff: dstOff}
+	x.W.Run(mw, kernels.Grain(mw, 16*mh, x.W.N()), &x.invCols)
+	for cx := 0; cx < mw; cx++ {
+		x.chargeCPU(2 * mh)
+		x.chargeCPU(2 * (mh + signal.SynthesisPad))
+		x.tile.ChargeSynthesizeRow(mh)
+		x.chargeCPU(2 * mh)
+		x.chargeCPU(h)
+	}
+}
+
+// invRowsTask runs the horizontal synthesis pass in place: row y's two
+// halves pad into per-worker scratch (consumed before any output is
+// written, so in-place is safe), synthesize, delay-compensate and copy
+// back over the row.
+type invRowsTask struct {
+	x     *Xfm
+	bank  *Bank
+	dst   *frame.Frame
+	w, mw int
+}
+
+func (t *invRowsTask) Tile(lo, hi, worker int) {
+	x := t.x
+	ws := &x.ws[worker]
+	y := ws.y.buf[:t.w]
+	y2 := ws.y2.buf[:t.w]
+	for yy := lo; yy < hi; yy++ {
+		row := t.dst.Row(yy)
+		plo := kernels.PadPeriodicPairs(row[:t.mw], ws.plo.buf)
+		phi := kernels.PadPeriodicPairs(row[t.mw:], ws.phi.buf)
+		x.tile.SynthesizeTile(&t.bank.SL, &t.bank.SH, plo, phi, y)
+		signal.Rotate(y2, y, t.bank.delay)
+		copy(row, y2)
+	}
+}
+
+// inverseRowsTiled dispatches the in-place horizontal synthesis pass and
+// replays its charges: per row, the pads, the kernel row, the rotation
+// and the write-back memcpy.
+func (x *Xfm) inverseRowsTiled(bank *Bank, dst *frame.Frame, w, h, mw int) {
+	ws := x.workspaces(x.W.N())
+	for i := range ws {
+		ws[i].plo.grow(x.pool, mw+signal.SynthesisPad)
+		ws[i].phi.grow(x.pool, mw+signal.SynthesisPad)
+		ws[i].y.grow(x.pool, w)
+		ws[i].y2.grow(x.pool, w)
+	}
+	x.invRows = invRowsTask{x: x, bank: bank, dst: dst, w: w, mw: mw}
+	x.W.Run(h, kernels.Grain(h, 8*w, x.W.N()), &x.invRows)
+	for y := 0; y < h; y++ {
+		x.chargeCPU(2 * (mw + signal.SynthesisPad))
+		x.tile.ChargeSynthesizeRow(mw)
+		x.chargeCPU(w)
+		x.chargeCPU(w)
+	}
+}
+
+// Pixel-map tasks: the DT-CWT's engine-independent structure loops
+// (tree combination, distribution, reconstruction averaging). Each index
+// is computed independently with the same expressions as the sequential
+// loops, and the single chargeCPU those loops make sits outside the
+// parallel region, so these tile for every engine — including ones whose
+// filter kernels cannot.
+
+// q2cTask applies the four-real-to-two-complex combination per pixel.
+type q2cTask struct {
+	p, q, r, s             []float32
+	z1re, z1im, z2re, z2im []float32
+}
+
+func (t *q2cTask) Tile(lo, hi, _ int) {
+	p, q, r, s := t.p, t.q, t.r, t.s
+	z1re, z1im, z2re, z2im := t.z1re, t.z1im, t.z2re, t.z2im
+	for i := lo; i < hi; i++ {
+		pp, qq, rr, ss := p[i], q[i], r[i], s[i]
+		z1re[i] = (pp - qq) * invSqrt2
+		z1im[i] = (rr + ss) * invSqrt2
+		z2re[i] = (pp + qq) * invSqrt2
+		z2im[i] = (ss - rr) * invSqrt2
+	}
+}
+
+// c2qTask applies the exact inverse combination per pixel.
+type c2qTask struct {
+	z1re, z1im, z2re, z2im []float32
+	p, q, r, s             []float32
+}
+
+func (t *c2qTask) Tile(lo, hi, _ int) {
+	z1re, z1im, z2re, z2im := t.z1re, t.z1im, t.z2re, t.z2im
+	p, q, r, s := t.p, t.q, t.r, t.s
+	for i := lo; i < hi; i++ {
+		p[i] = (z1re[i] + z2re[i]) * invSqrt2
+		q[i] = (z2re[i] - z1re[i]) * invSqrt2
+		r[i] = (z1im[i] - z2im[i]) * invSqrt2
+		s[i] = (z1im[i] + z2im[i]) * invSqrt2
+	}
+}
+
+// accTask accumulates src into dst per pixel.
+type accTask struct {
+	dst, src []float32
+}
+
+func (t *accTask) Tile(lo, hi, _ int) {
+	dst, src := t.dst, t.src
+	for i := lo; i < hi; i++ {
+		dst[i] += src[i]
+	}
+}
+
+// scaleTask scales dst by the tree-average factor per pixel.
+type scaleTask struct {
+	dst []float32
+}
+
+func (t *scaleTask) Tile(lo, hi, _ int) {
+	dst := t.dst
+	for i := lo; i < hi; i++ {
+		dst[i] *= 1.0 / numTrees
+	}
+}

@@ -1,0 +1,70 @@
+package wavelet
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"zynqfusion/internal/bufpool"
+	"zynqfusion/internal/engine"
+	"zynqfusion/internal/kernels"
+)
+
+// Wall-clock microbenchmarks of the tiled 2D transform hot loops, the
+// regression surface the CI kernel-bench smoke job watches. Worker counts
+// above the host's cores degenerate to time-slicing, so absolute numbers
+// only compare within one machine.
+
+func benchDTCWT(b *testing.B, workers int, inverse bool) {
+	prev := runtime.GOMAXPROCS(max(workers, runtime.GOMAXPROCS(0)))
+	defer runtime.GOMAXPROCS(prev)
+	x := NewXfm(engine.NewNEON(false))
+	pool := bufpool.New(bufpool.Options{})
+	x.UseScratchPool(pool)
+	var w *kernels.Workers
+	if workers > 1 {
+		w = kernels.NewWorkers(workers)
+		defer w.Close()
+		x.SetWorkers(w)
+	}
+	dt := NewDTCWTPooled(x, DefaultTreeBanks(), pool)
+	img := testFrame(320, 180, 11)
+	p := &DTPyramid{}
+	if _, err := dt.ForwardInto(p, img, 3); err != nil {
+		b.Fatal(err)
+	}
+	rec, err := dt.Inverse(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rec.Release()
+	b.SetBytes(int64(4 * img.W * img.H))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if inverse {
+			rec, err := dt.Inverse(p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rec.Release()
+		} else if _, err := dt.ForwardInto(p, img, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKernelForward2D(b *testing.B) {
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			benchDTCWT(b, workers, false)
+		})
+	}
+}
+
+func BenchmarkKernelInverse2D(b *testing.B) {
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			benchDTCWT(b, workers, true)
+		})
+	}
+}

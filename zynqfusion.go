@@ -149,6 +149,15 @@ type Options struct {
 	// recycle the plane, or simply drop it (the pool never reuses a plane
 	// that has not been released).
 	BufferPool BufferPool
+	// KernelWorkers sizes the goroutine pool the cache-blocked wavelet and
+	// fusion hot loops tile across: 0 (the default) selects GOMAXPROCS, 1
+	// runs fully sequential on the calling goroutine, and any value is
+	// capped at GOMAXPROCS. Worker count is pure host-side scheduling — it
+	// never changes results or the modeled platform accounting: compute
+	// runs in disjoint tiles and every cycle/energy charge replays in
+	// sequential order, so pixels, Stats and energy are bit-for-bit
+	// identical at every setting. Negative values are rejected.
+	KernelWorkers int
 }
 
 // BufferPool is the frame-store arena budget of a Fuser or Farm: CapBytes
@@ -196,6 +205,9 @@ func New(opts Options) (*Fuser, error) {
 	if opts.PipelineDepth > MaxPipelineDepth {
 		return nil, fmt.Errorf("zynqfusion: Options.PipelineDepth = %d exceeds MaxPipelineDepth %d; depth past the stage count buys nothing", opts.PipelineDepth, MaxPipelineDepth)
 	}
+	if opts.KernelWorkers < 0 {
+		return nil, fmt.Errorf("zynqfusion: Options.KernelWorkers must be non-negative, got %d (0 = GOMAXPROCS, 1 = sequential)", opts.KernelWorkers)
+	}
 	op := dvfs.Nominal()
 	if opts.OperatingPoint != "" {
 		var ok bool
@@ -209,10 +221,11 @@ func New(opts Options) (*Fuser, error) {
 		return nil, err
 	}
 	cfg := pipeline.Config{
-		Levels:    opts.Levels,
-		Rule:      opts.Rule,
-		IncludeIO: opts.IncludeIO,
-		Pool:      bufpool.New(bufpool.Options{CapBytes: opts.BufferPool.CapBytes}),
+		Levels:        opts.Levels,
+		Rule:          opts.Rule,
+		IncludeIO:     opts.IncludeIO,
+		Pool:          bufpool.New(bufpool.Options{CapBytes: opts.BufferPool.CapBytes}),
+		KernelWorkers: opts.KernelWorkers,
 	}
 	f := &Fuser{pl: pipeline.New(eng, cfg), kind: opts.Engine}
 	if opts.PipelineDepth >= 1 {

@@ -8,6 +8,16 @@
 //	fusiond -addr :8080
 //	fusiond -addr :8080 -budget-mw 2200 -streams 4 -pool-stream-mb 8
 //	fusiond -addr :8080 -slo rules.json
+//	fusiond -addr :8080 -fleet 8 -budget-mw 16000
+//
+// With -fleet N the daemon serves N modeled boards behind one
+// coordinator instead of a single farm: streams are placed by
+// consistent hashing with bounded load, -budget-mw becomes the
+// fleet-wide arbitrated power budget, and the API switches to the
+// fleet surface — GET /fleet (rollup + Prometheus fleet_* families on
+// /metrics), POST /streams/{id}/migrate, POST /boards/{id}/kill and
+// /restore, GET /boards/{id} — while stream submit/list/stop and
+// snapshot endpoints keep their shapes.
 //
 // API:
 //
@@ -43,6 +53,7 @@ import (
 
 	"zynqfusion/internal/bufpool"
 	"zynqfusion/internal/farm"
+	"zynqfusion/internal/fleet"
 	"zynqfusion/internal/sim"
 	"zynqfusion/internal/slo"
 )
@@ -56,21 +67,21 @@ type options struct {
 	poolStreamMB float64 // per-stream sub-pool ceiling in MB (0 = unbounded)
 	pprof        bool    // expose net/http/pprof under /debug/pprof/
 	sloPath      string  // SLO rules file (JSON); empty disables the SLO engine
+	fleet        int     // board count; > 0 serves a fleet coordinator instead of one farm
 }
 
-// newDaemon builds the farm and its HTTP handler from the options: the
-// whole service except the listener, so tests can drive the handler
-// directly. The caller owns the returned farm and must Close it.
-func newDaemon(opt options) (*farm.Farm, http.Handler, error) {
+// farmConfig resolves the per-board (or single-farm) template from the
+// options.
+func farmConfig(opt options) (farm.Config, error) {
 	var rules *slo.Rules
 	if opt.sloPath != "" {
 		r, err := slo.LoadRules(opt.sloPath)
 		if err != nil {
-			return nil, nil, fmt.Errorf("slo rules: %w", err)
+			return farm.Config{}, fmt.Errorf("slo rules: %w", err)
 		}
 		rules = r
 	}
-	fm := farm.New(farm.Config{
+	return farm.Config{
 		PowerBudget:     sim.Watts(opt.budgetMW / 1e3),
 		DefaultQueueCap: opt.queueCap,
 		BufferPool: bufpool.Budget{
@@ -78,29 +89,86 @@ func newDaemon(opt options) (*farm.Farm, http.Handler, error) {
 			PerStream: int64(opt.poolStreamMB * (1 << 20)),
 		},
 		SLO: rules,
-	})
+	}, nil
+}
+
+// newFleetDaemon builds the --fleet variant: a coordinator over
+// opt.fleet boards, each board a farm built from the same template the
+// single-farm path uses. -budget-mw becomes the *fleet-wide* arbitrated
+// power budget. The caller owns the returned fleet and must Close it.
+func newFleetDaemon(opt options) (*fleet.Fleet, http.Handler, error) {
+	tmpl, err := farmConfig(opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	budget := tmpl.PowerBudget
+	tmpl.PowerBudget = 0 // per-board caps come from arbitration
+	c, err := fleet.New(fleet.Config{Boards: opt.fleet, PowerBudget: budget, Board: tmpl})
+	if err != nil {
+		return nil, nil, err
+	}
+	for i := 0; i < opt.streams; i++ {
+		if _, _, err := c.Submit(farm.StreamConfig{Seed: int64(i + 1)}); err != nil {
+			c.Close()
+			return nil, nil, fmt.Errorf("boot stream %d: %w", i+1, err)
+		}
+	}
+	return c, withPprof(fleet.NewServer(c), opt.pprof), nil
+}
+
+// drainFleet mirrors drain for --fleet: shut the listener, close every
+// board (flipping /healthz to draining first), and flush the final
+// fleet rollup.
+func drainFleet(c *fleet.Fleet, srv *http.Server, out io.Writer) error {
+	if srv != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}
+	c.Close()
+	r := c.Rollup()
+	fmt.Fprintf(out, "fusiond: drained fleet of %d boards: %d streams, fused %d, %d migrations, final rollup:\n",
+		r.Totals.Boards, len(r.Placements), r.Totals.Fused, r.Totals.Migrations)
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// newDaemon builds the farm and its HTTP handler from the options: the
+// whole service except the listener, so tests can drive the handler
+// directly. The caller owns the returned farm and must Close it.
+func newDaemon(opt options) (*farm.Farm, http.Handler, error) {
+	cfg, err := farmConfig(opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	fm := farm.New(cfg)
 	for i := 0; i < opt.streams; i++ {
 		if _, err := fm.Submit(farm.StreamConfig{Seed: int64(i + 1)}); err != nil {
 			fm.Close()
 			return nil, nil, fmt.Errorf("boot stream %d: %w", i+1, err)
 		}
 	}
-	handler := farm.NewServer(fm)
-	if opt.pprof {
-		// Host pprof explicitly on a parent mux instead of relying on the
-		// DefaultServeMux side-effect registration: the profiler is only
-		// reachable when the operator opted in with -pprof, never by
-		// default on a daemon that binds a routable address.
-		mux := http.NewServeMux()
-		mux.HandleFunc("/debug/pprof/", pprof.Index)
-		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-		mux.Handle("/", handler)
-		handler = mux
+	return fm, withPprof(farm.NewServer(fm), opt.pprof), nil
+}
+
+// withPprof optionally mounts the Go profiler above a handler. Hosted
+// explicitly on a parent mux instead of relying on the DefaultServeMux
+// side-effect registration: the profiler is only reachable when the
+// operator opted in with -pprof, never by default on a daemon that
+// binds a routable address.
+func withPprof(handler http.Handler, enabled bool) http.Handler {
+	if !enabled {
+		return handler
 	}
-	return fm, handler, nil
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/", handler)
+	return mux
 }
 
 // drain is the graceful-shutdown path: stop accepting HTTP work, stop and
@@ -133,9 +201,18 @@ func main() {
 	flag.Float64Var(&opt.poolStreamMB, "pool-stream-mb", 0, "per-stream frame-store budget in MB (0 = unbounded)")
 	flag.BoolVar(&opt.pprof, "pprof", false, "expose Go profiling endpoints under /debug/pprof/ (off by default)")
 	flag.StringVar(&opt.sloPath, "slo", "", "SLO rules file (JSON); enables burn-rate alerting, degradation and admission control")
+	flag.IntVar(&opt.fleet, "fleet", 0, "serve a fleet of N modeled boards behind one coordinator (0 = single farm)")
 	flag.Parse()
 
-	fm, handler, err := newDaemon(opt)
+	var handler http.Handler
+	var fm *farm.Farm
+	var fl *fleet.Fleet
+	var err error
+	if opt.fleet > 0 {
+		fl, handler, err = newFleetDaemon(opt)
+	} else {
+		fm, handler, err = newDaemon(opt)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fusiond:", err)
 		os.Exit(1)
@@ -144,8 +221,13 @@ func main() {
 	srv := &http.Server{Addr: *addr, Handler: handler}
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
-	fmt.Printf("fusiond: serving on %s (budget %s, %d streams)\n",
-		*addr, sim.Watts(opt.budgetMW/1e3), opt.streams)
+	if fl != nil {
+		fmt.Printf("fusiond: serving fleet of %d boards on %s (budget %s, %d streams)\n",
+			opt.fleet, *addr, sim.Watts(opt.budgetMW/1e3), opt.streams)
+	} else {
+		fmt.Printf("fusiond: serving on %s (budget %s, %d streams)\n",
+			*addr, sim.Watts(opt.budgetMW/1e3), opt.streams)
+	}
 
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
@@ -157,7 +239,12 @@ func main() {
 		}
 	case sig := <-sigCh:
 		fmt.Printf("fusiond: %s, draining\n", sig)
-		if err := drain(fm, srv, os.Stdout); err != nil {
+		if fl != nil {
+			err = drainFleet(fl, srv, os.Stdout)
+		} else {
+			err = drain(fm, srv, os.Stdout)
+		}
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "fusiond: metrics flush:", err)
 			os.Exit(1)
 		}

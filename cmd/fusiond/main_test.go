@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"zynqfusion/internal/farm"
+	"zynqfusion/internal/fleet"
 )
 
 func TestNewDaemonSmoke(t *testing.T) {
@@ -243,5 +244,66 @@ func TestSLOFlag(t *testing.T) {
 	}
 	if _, _, err := newDaemon(options{sloPath: bad}); err == nil {
 		t.Error("invalid rules file accepted")
+	}
+}
+
+// TestNewFleetDaemonSmoke boots the --fleet variant: the coordinator
+// places the boot streams, /fleet serves the rollup, -budget-mw is
+// arbitrated fleet-wide, and drainFleet flushes a decodable rollup.
+func TestNewFleetDaemonSmoke(t *testing.T) {
+	fl, handler, err := newFleetDaemon(options{queueCap: 4, streams: 3, fleet: 2, budgetMW: 4000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fl.Close()
+
+	get := func(path string) *httptest.ResponseRecorder {
+		t.Helper()
+		rec := httptest.NewRecorder()
+		handler.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+		return rec
+	}
+
+	if rec := get("/healthz"); rec.Code != http.StatusOK {
+		t.Errorf("healthz = %d", rec.Code)
+	}
+	var r fleet.Telemetry
+	rec := get("/fleet")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/fleet status %d", rec.Code)
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &r); err != nil {
+		t.Fatalf("/fleet JSON: %v", err)
+	}
+	if r.Totals.Boards != 2 || r.Totals.Streams != 3 {
+		t.Fatalf("rollup totals: %+v", r.Totals)
+	}
+	if r.Totals.PowerBudget != 4 {
+		t.Fatalf("fleet power budget %v, want 4W", r.Totals.PowerBudget)
+	}
+	if rec := get("/metrics?format=prometheus"); rec.Code != http.StatusOK ||
+		!strings.Contains(rec.Body.String(), "fleet_boards 2") {
+		t.Fatalf("prometheus rollup: %d", rec.Code)
+	}
+
+	for _, p := range r.Placements {
+		if err := fl.Stop(p.Stream); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var out strings.Builder
+	if err := drainFleet(fl, nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "drained fleet of 2 boards") {
+		t.Fatalf("drain banner: %q", out.String())
+	}
+	var flushed fleet.Telemetry
+	body := out.String()[strings.Index(out.String(), "{"):]
+	if err := json.Unmarshal([]byte(body), &flushed); err != nil {
+		t.Fatalf("flushed rollup: %v", err)
+	}
+	if err := fl.CheckLeaks(); err != nil {
+		t.Fatal(err)
 	}
 }

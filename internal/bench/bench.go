@@ -157,6 +157,9 @@ func All() []Experiment {
 		{ID: "kernel-speedup", Title: "Extension — tiled multi-core kernel engine vs scalar baseline: wall-clock, outputs pinned",
 			Run:  RunKernelSpeedup,
 			JSON: func() (any, error) { return KernelSpeedup() }},
+		{ID: "fleet-scale", Title: "Extension — fleet scaling: 64-1024 streams over 8 boards, placement imbalance, migration cost",
+			Run:  RunFleetScale,
+			JSON: func() (any, error) { return FleetScale() }},
 	}
 	return exps // declaration order
 }

@@ -210,6 +210,39 @@ func (f *Farm) Stop(id string) error {
 	return nil
 }
 
+// Forget removes a *finished* stream from the farm's registry, freeing
+// its id for reuse. The fleet coordinator calls it after migrating a
+// stream off this board, so the same stream can later migrate back
+// without colliding with its own retired segment. The governor's energy
+// ledger keeps the retired segment's accounting. Forgetting a stream
+// that is still running is refused.
+func (f *Farm) Forget(id string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s, ok := f.streams[id]
+	if !ok {
+		return fmt.Errorf("farm: no stream %q", id)
+	}
+	select {
+	case <-s.Done():
+	default:
+		return fmt.Errorf("farm: stream %q still running", id)
+	}
+	delete(f.streams, id)
+	for i, sid := range f.order {
+		if sid == id {
+			f.order = append(f.order[:i], f.order[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+// SetPowerBudget rebinds the farm's aggregate power budget at runtime —
+// the lever fleet-wide power arbitration pulls to split a fleet budget
+// across boards as demand shifts. Zero disables budget enforcement.
+func (f *Farm) SetPowerBudget(w sim.Watts) { f.gov.SetBudget(w) }
+
 // Wait blocks until every currently-submitted stream has finished.
 // Unbounded streams must be stopped first.
 func (f *Farm) Wait() {

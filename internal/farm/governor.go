@@ -84,6 +84,16 @@ func NewGovernor(budget sim.Watts) *Governor {
 	return &Governor{budget: budget, accounts: make(map[string]*account)}
 }
 
+// SetBudget rebinds the aggregate power budget (0 disables enforcement).
+// Leases already granted are unaffected; the next TryAcquire sees the new
+// cap. Fleet-wide arbitration adjusts per-board budgets through it as
+// board demand shifts.
+func (g *Governor) SetBudget(w sim.Watts) {
+	g.mu.Lock()
+	g.budget = w
+	g.mu.Unlock()
+}
+
 // SetLeaseObserver installs a callback notified of every TryAcquire
 // outcome (granted or denied, with the budget flag marking budget-caused
 // denials). Install it before the farm starts streams; the observer runs

@@ -55,6 +55,17 @@ func NewSyntheticSourcePooled(w, h int, seed int64, pool *bufpool.Pool) (*Synthe
 	}, nil
 }
 
+// Skip fast-forwards the capture chain past n frames without rendering
+// them: the scene advances deterministically, so the next Next returns
+// exactly the pair a fresh source would have produced as its (n+1)-th
+// capture. Fleet migration uses it to resume a stream's deterministic
+// scene at the handoff frame on the target board.
+func (s *SyntheticSource) Skip(n int64) {
+	for i := int64(0); i < n; i++ {
+		s.scene.Advance()
+	}
+}
+
 // Next implements Source.
 func (s *SyntheticSource) Next() (*frame.Frame, *frame.Frame, error) {
 	s.scene.Advance()

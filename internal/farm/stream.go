@@ -42,6 +42,15 @@ type StreamConfig struct {
 	Rule string `json:"rule"`
 	// Frames bounds the stream length; 0 runs until stopped.
 	Frames int64 `json:"frames"`
+	// StartSeq is the first capture sequence number the stream produces.
+	// The synthetic scene is fast-forwarded to it, so a stream resumed at
+	// StartSeq k emits exactly the frames k, k+1, ... that the original
+	// run would have — the pixels are a pure function of (Seed, seq) —
+	// which is what lets fleet migration hand a stream to another board
+	// bit-identically. Frames stays the absolute end bound: a bounded
+	// resumed stream produces seqs StartSeq..Frames-1. Negative values
+	// (or StartSeq beyond a nonzero Frames) are rejected at Submit.
+	StartSeq int64 `json:"start_seq,omitempty"`
 	// QueueCap is the capture queue depth before drop-oldest kicks in.
 	// Zero selects the default (4, or the farm's DefaultQueueCap);
 	// negative depths are rejected at Submit.
@@ -246,6 +255,7 @@ type Stream struct {
 	boost           int // operating points above the governor's pick
 	captured        int64
 	fused           int64
+	lastFused       int64 // highest fused capture seq; StartSeq-1 until the first fusion
 	droppedShutdown int64
 	grants          int64
 	denials         int64
@@ -312,6 +322,12 @@ func newStream(cfg StreamConfig, gov *Governor, pool *bufpool.Pool, ring *obs.Ev
 	if cfg.Frames < 0 {
 		return nil, fmt.Errorf("farm: frames must be non-negative, got %d (zero runs until stopped)", cfg.Frames)
 	}
+	if cfg.StartSeq < 0 {
+		return nil, fmt.Errorf("farm: start_seq must be non-negative, got %d", cfg.StartSeq)
+	}
+	if cfg.Frames > 0 && cfg.StartSeq > cfg.Frames {
+		return nil, fmt.Errorf("farm: start_seq %d beyond the frame bound %d", cfg.StartSeq, cfg.Frames)
+	}
 	if cfg.IntervalMS < 0 {
 		return nil, fmt.Errorf("farm: interval_ms must be non-negative, got %d (zero free-runs bounded streams)", cfg.IntervalMS)
 	}
@@ -370,6 +386,11 @@ func newStream(cfg StreamConfig, gov *Governor, pool *bufpool.Pool, ring *obs.Ev
 	if err != nil {
 		return nil, err
 	}
+	// A resumed stream replays its deterministic scene forward to the
+	// handoff point instead of re-capturing: frame seq n is a pure
+	// function of (Seed, n), so the continuation emits exactly the frames
+	// the original run would have.
+	src.Skip(cfg.StartSeq)
 	// Validate the effective depth (the pipeline defaults Levels 0 to
 	// DefaultLevels), so an over-deep stream is refused at Submit, not at
 	// its first frame.
@@ -393,6 +414,7 @@ func newStream(cfg StreamConfig, gov *Governor, pool *bufpool.Pool, ring *obs.Ev
 		levels:       levels,
 		ops:          make(map[opKey]*opFuser),
 		source:       src,
+		lastFused:    cfg.StartSeq - 1,
 		queue:        newFrameQueue(cfg.QueueCap),
 		origQueueCap: cfg.QueueCap,
 		wantsFPGA:    cfg.Engine != "arm" && cfg.Engine != "neon",
@@ -742,7 +764,7 @@ func (s *Stream) start() {
 func (s *Stream) produce() {
 	defer s.queue.Close()
 	interval := time.Duration(s.cfg.IntervalMS) * time.Millisecond
-	for n := int64(0); s.cfg.Frames == 0 || n < s.cfg.Frames; n++ {
+	for n := s.cfg.StartSeq; s.cfg.Frames == 0 || n < s.cfg.Frames; n++ {
 		select {
 		case <-s.stopCh:
 			return
@@ -902,6 +924,7 @@ func (s *Stream) fuseOne(p framePair) {
 		s.boost++
 	}
 	s.fused++
+	s.lastFused = p.seq
 	s.stages.Add(st)
 	if s.cfg.Pipelined && s.fused == 1 {
 		s.pipeFill = st.Total // first frame's completion: fill latency
@@ -1211,17 +1234,41 @@ func (s *Stream) Snapshot() *frame.Frame {
 }
 
 // AppendSnapshotPGM appends the latest fused frame's binary PGM encoding
-// to dst under the stream lock, reporting false (and dst unchanged) before
-// the first fusion. Encoding straight off the display frame store avoids
-// both the defensive Snapshot copy and a per-request byte-slice
-// allocation: the caller hands the same buffer back on every request.
+// to dst, reporting false (and dst unchanged) before the first fusion.
+// Encoding straight off the display frame store avoids both the defensive
+// Snapshot copy and a per-request byte-slice allocation: the caller hands
+// the same buffer back on every request.
+//
+// The encode runs *outside* the stream lock under its own lease
+// reference: the store cannot return to the pool mid-encode even if the
+// next frame displaces the snapshot or Stop's end-of-stream materialize
+// releases it concurrently — the invariant is structural (refcounts), not
+// an accident of lock ordering — and a slow encode no longer stalls the
+// fuse hot path.
 func (s *Stream) AppendSnapshotPGM(dst []byte) ([]byte, bool) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.snapshot == nil {
+	snap := s.snapshot
+	if snap == nil {
+		s.mu.Unlock()
 		return dst, false
 	}
-	return s.snapshot.AppendPGM(dst), true
+	// Retain is a no-op on the plain post-finish snapshot, which nothing
+	// mutates after the stream ends; a live stream's snapshot is always
+	// leased and the extra reference pins its store across the encode.
+	snap.Retain()
+	s.mu.Unlock()
+	dst = snap.AppendPGM(dst)
+	snap.Release()
+	return dst, true
+}
+
+// LastFusedSeq returns the highest capture sequence number fused so far
+// (StartSeq-1 before the first fusion) — the resume point a fleet
+// migration hands to the continuation stream on the target board.
+func (s *Stream) LastFusedSeq() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastFused
 }
 
 // Telemetry snapshots the stream's accumulated record.

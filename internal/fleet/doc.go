@@ -1,0 +1,39 @@
+// Package fleet coordinates M modeled Zynq boards — each with its own
+// wave engine, DVFS ladder, power governor and bufpool arena (a
+// farm.Farm) — behind one placement and control plane.
+//
+// Placement is consistent hashing with bounded loads: a stream's id
+// hashes onto a virtual-node ring and walks clockwise past boards that
+// are down, at their ceil(c·K/M) load cap (c = 1.25 by default), or
+// refusing admission because their SLO error budget is burning. The
+// structure gives three properties at once: placement imbalance capped
+// at c times ideal, minimal key movement when boards join or leave, and
+// fleet-wide backpressure — Submit fails wrapping farm.ErrSLOBurning
+// only when every live board refuses.
+//
+// A fleet-wide power budget is arbitrated across the per-board
+// governors: half split evenly (so a cold board can always win its
+// first wave-engine lease) and half proportionally to each board's
+// modeled draw, re-split on every submit, migration, kill, restore and
+// budget change.
+//
+// Streams migrate live. Migrate drains the source segment — the
+// pipelined executor's in-flight depth completes and every bufpool
+// lease returns — then re-leases a continuation on the target with
+// StartSeq at the first unfused frame. Captured frames are a pure
+// function of (Seed, seq), so the continuation's pixels are
+// bit-identical to what the unmigrated stream would have fused; the
+// modeled migration cost is one pipeline refill at the configured
+// depth. The newest fused frame is preserved across the handoff so
+// snapshot serving never goes dark.
+//
+// Everything the coordinator decides — placement, evacuation order,
+// migration targets — is a deterministic function of the request
+// sequence, which is what lets the chaostest harness assert that two
+// runs of the same seeded fault schedule produce identical event
+// sequences and bit-identical survivor output.
+//
+// NewServer exposes the coordinator over HTTP (fusiond --fleet):
+// /fleet for the rollup, Prometheus fleet_* families on /metrics,
+// stream submit/stop/migrate/snapshot, and board kill/restore.
+package fleet

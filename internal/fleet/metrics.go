@@ -1,0 +1,270 @@
+package fleet
+
+import (
+	"io"
+
+	"zynqfusion/internal/bufpool"
+	"zynqfusion/internal/farm"
+	"zynqfusion/internal/obs"
+	"zynqfusion/internal/sim"
+)
+
+// BoardTelemetry is one board's rollup row on /fleet.
+type BoardTelemetry struct {
+	ID string `json:"id"`
+	Up bool   `json:"up"`
+	// Epoch counts restores: 0 is the original farm, each Restore after
+	// a Kill increments it.
+	Epoch int `json:"epoch"`
+	// Streams counts live placements assigned here; Active the segment
+	// workers actually running right now.
+	Streams int `json:"streams"`
+	Active  int `json:"active"`
+	// PowerBudget is the board's arbitrated share of the fleet budget;
+	// AggregatePower its current modeled draw.
+	PowerBudget    sim.Watts  `json:"power_budget_watts"`
+	AggregatePower sim.Watts  `json:"aggregate_power_watts"`
+	Fused          int64      `json:"fused"`
+	Dropped        int64      `json:"dropped"`
+	DeadlineMisses int64      `json:"deadline_misses"`
+	Energy         sim.Joules `json:"energy_joules"`
+	// Grants and Denials are the board's wave-engine lease ledger.
+	Grants  int64 `json:"fpga_grants"`
+	Denials int64 `json:"fpga_denials"`
+	// Pool is the board's frame-store arena ledger — Outstanding must
+	// read zero once every resident stream has ended.
+	Pool bufpool.Stats `json:"pool"`
+}
+
+// PlacementTelemetry is one stream's fleet-level record: current board,
+// migration lineage, and counters *cumulative across segments* (a
+// migrated stream's retired segments left their farms, but not the
+// fleet's ledger).
+type PlacementTelemetry struct {
+	Stream         string     `json:"stream"`
+	Board          string     `json:"board"`
+	Moves          int        `json:"moves"`
+	Dead           bool       `json:"dead,omitempty"`
+	Running        bool       `json:"running"`
+	Fused          int64      `json:"fused"`
+	Dropped        int64      `json:"dropped"`
+	DeadlineMisses int64      `json:"deadline_misses"`
+	Energy         sim.Joules `json:"energy_joules"`
+	// Busy is the stream's cumulative modeled busy time across all its
+	// segments.
+	Busy sim.Time `json:"busy_ps"`
+}
+
+// Totals is the fleet-wide rollup.
+type Totals struct {
+	Boards   int `json:"boards"`
+	BoardsUp int `json:"boards_up"`
+	// Streams counts live placements; Lost the streams that died with
+	// unevacuated board kills.
+	Streams int        `json:"streams"`
+	Lost    int        `json:"lost"`
+	Fused   int64      `json:"fused"`
+	Energy  sim.Joules `json:"energy_joules"`
+	// EnergyPerFrame is fleet J/frame over every fused frame, retired
+	// segments included.
+	EnergyPerFrame   sim.Joules `json:"energy_per_frame_joules"`
+	Migrations       int64      `json:"migrations_total"`
+	AdmissionRefused int64      `json:"admission_refused_total"`
+	PowerBudget      sim.Watts  `json:"power_budget_watts"`
+	// Imbalance is max live placements on a live board over the ideal
+	// even share — bounded-load placement keeps it at or under the
+	// configured load factor (1.25 by default).
+	Imbalance float64 `json:"placement_imbalance"`
+}
+
+// Telemetry is the full /fleet document.
+type Telemetry struct {
+	Boards     []BoardTelemetry     `json:"boards"`
+	Placements []PlacementTelemetry `json:"placements"`
+	Migrations []Migration          `json:"migrations"`
+	Totals     Totals               `json:"totals"`
+}
+
+// Rollup snapshots the fleet: per-board rows in board order, placements
+// in submission order, the migration history and the fleet totals.
+func (c *Fleet) Rollup() Telemetry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t := Telemetry{
+		Boards:     make([]BoardTelemetry, 0, len(c.order)),
+		Placements: make([]PlacementTelemetry, 0, len(c.placeOrder)),
+		Migrations: append([]Migration(nil), c.migrations...),
+	}
+	load := c.loadLocked()
+	for _, id := range c.order {
+		b := c.boards[id]
+		gov := b.farm.Governor().Stats()
+		row := BoardTelemetry{
+			ID: id, Up: b.up, Epoch: b.epoch,
+			Streams:        load[id],
+			PowerBudget:    b.budget,
+			AggregatePower: gov.AggregatePower,
+			Energy:         gov.Energy,
+			Grants:         gov.Grants,
+			Denials:        gov.Denials,
+			Pool:           b.farm.Pool().Stats(),
+		}
+		for _, s := range b.farm.List() {
+			st := s.Telemetry()
+			if st.Running {
+				row.Active++
+			}
+			row.Fused += st.Fused
+			row.Dropped += st.Dropped
+			row.DeadlineMisses += st.DeadlineMisses
+		}
+		t.Boards = append(t.Boards, row)
+		if b.up {
+			t.Totals.BoardsUp++
+		}
+	}
+	t.Totals.Boards = len(c.order)
+	t.Totals.Migrations = int64(len(c.migrations))
+	t.Totals.AdmissionRefused = c.refused
+	t.Totals.PowerBudget = c.cfg.PowerBudget
+
+	maxLoad := 0
+	for _, id := range c.placeOrder {
+		p := c.placements[id]
+		row := PlacementTelemetry{
+			Stream: id, Board: p.board, Moves: p.moves, Dead: p.dead,
+			Fused: p.priorFused, Dropped: p.priorDropped,
+			DeadlineMisses: p.priorMisses, Energy: p.priorEnergy,
+			Busy: p.priorBusy,
+		}
+		if !p.dead {
+			t.Totals.Streams++
+			if load[p.board] > maxLoad {
+				maxLoad = load[p.board]
+			}
+			if s, ok := c.boards[p.board].farm.Get(id); ok {
+				st := s.Telemetry()
+				row.Running = st.Running
+				row.Fused += st.Fused
+				row.Dropped += st.Dropped
+				row.DeadlineMisses += st.DeadlineMisses
+				row.Energy += st.Stages.Energy
+				row.Busy += st.Stages.Total
+			}
+		}
+		t.Totals.Fused += row.Fused
+		t.Totals.Energy += row.Energy
+		t.Placements = append(t.Placements, row)
+	}
+	if t.Totals.Fused > 0 {
+		t.Totals.EnergyPerFrame = t.Totals.Energy / sim.Joules(t.Totals.Fused)
+	}
+	if t.Totals.Streams > 0 && t.Totals.BoardsUp > 0 {
+		ideal := float64(t.Totals.Streams) / float64(t.Totals.BoardsUp)
+		t.Totals.Imbalance = float64(maxLoad) / ideal
+	}
+	return t
+}
+
+// BoardMetrics returns one live or retired-in-place board's full farm
+// Metrics document (the same shape fusiond serves per farm), so a fleet
+// operator can drill from the rollup into any board.
+func (c *Fleet) BoardMetrics(boardID string) (farm.Metrics, bool) {
+	c.mu.Lock()
+	b, ok := c.boards[boardID]
+	c.mu.Unlock()
+	if !ok {
+		return farm.Metrics{}, false
+	}
+	return b.farm.Metrics(), true
+}
+
+// CheckLeaks asserts zero outstanding bufpool leases across every farm
+// the fleet ever ran — live boards and the retired farms of killed
+// epochs alike. The chaos harness's "zero lost leases" invariant is
+// exactly this call returning nil after all streams end.
+func (c *Fleet) CheckLeaks() error {
+	c.mu.Lock()
+	farms := make([]*farm.Farm, 0, len(c.order)+len(c.retired))
+	for _, id := range c.order {
+		farms = append(farms, c.boards[id].farm)
+	}
+	farms = append(farms, c.retired...)
+	c.mu.Unlock()
+	for _, f := range farms {
+		if err := f.Pool().CheckLeaks(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WritePrometheus renders the fleet rollup in the Prometheus text
+// exposition format: fleet_* families labeled by board, layered above
+// the per-board farm_* families each board's own endpoint serves.
+func WritePrometheus(w io.Writer, t Telemetry) error {
+	p := obs.NewProm(w)
+	bl := func(id string) obs.Label { return obs.Label{K: "board", V: id} }
+
+	bgauge := func(name, help string, get func(b BoardTelemetry) float64) {
+		p.Family(name, "gauge", help)
+		for _, b := range t.Boards {
+			p.Sample("", get(b), bl(b.ID))
+		}
+	}
+	bcounter := func(name, help string, get func(b BoardTelemetry) float64) {
+		p.Family(name, "counter", help)
+		for _, b := range t.Boards {
+			p.Sample("", get(b), bl(b.ID))
+		}
+	}
+	bgauge("fleet_board_up", "1 while the board is live, 0 after a kill.",
+		func(b BoardTelemetry) float64 {
+			if b.Up {
+				return 1
+			}
+			return 0
+		})
+	bgauge("fleet_board_streams", "Live stream placements assigned to the board.",
+		func(b BoardTelemetry) float64 { return float64(b.Streams) })
+	bgauge("fleet_board_active_streams", "Stream workers currently running on the board.",
+		func(b BoardTelemetry) float64 { return float64(b.Active) })
+	bgauge("fleet_board_power_budget_watts", "The board's arbitrated share of the fleet power budget.",
+		func(b BoardTelemetry) float64 { return float64(b.PowerBudget) })
+	bgauge("fleet_board_power_watts", "The board's current modeled draw.",
+		func(b BoardTelemetry) float64 { return float64(b.AggregatePower) })
+	bcounter("fleet_board_fused_total", "Frames fused on the board (current epoch).",
+		func(b BoardTelemetry) float64 { return float64(b.Fused) })
+	bcounter("fleet_board_energy_joules_total", "Modeled energy drained on the board (current epoch).",
+		func(b BoardTelemetry) float64 { return float64(b.Energy) })
+	bcounter("fleet_board_fpga_grants_total", "Wave-engine lease grants on the board.",
+		func(b BoardTelemetry) float64 { return float64(b.Grants) })
+	bcounter("fleet_board_fpga_denials_total", "Wave-engine lease denials on the board.",
+		func(b BoardTelemetry) float64 { return float64(b.Denials) })
+	bgauge("fleet_board_pool_outstanding_leases", "Outstanding frame-store leases on the board's arena.",
+		func(b BoardTelemetry) float64 { return float64(b.Pool.Outstanding) })
+
+	p.Family("fleet_boards", "gauge", "Boards in the fleet.")
+	p.Sample("", float64(t.Totals.Boards))
+	p.Family("fleet_boards_up", "gauge", "Boards currently live.")
+	p.Sample("", float64(t.Totals.BoardsUp))
+	p.Family("fleet_streams", "gauge", "Live stream placements fleet-wide.")
+	p.Sample("", float64(t.Totals.Streams))
+	p.Family("fleet_streams_lost_total", "counter", "Streams lost to unevacuated board kills.")
+	p.Sample("", float64(t.Totals.Lost))
+	p.Family("fleet_fused_total", "counter", "Frames fused fleet-wide, retired segments included.")
+	p.Sample("", float64(t.Totals.Fused))
+	p.Family("fleet_energy_joules_total", "counter", "Modeled energy fleet-wide, retired segments included.")
+	p.Sample("", float64(t.Totals.Energy))
+	p.Family("fleet_energy_per_frame_joules", "gauge", "Fleet J per fused frame.")
+	p.Sample("", float64(t.Totals.EnergyPerFrame))
+	p.Family("fleet_migrations_total", "counter", "Completed stream migrations.")
+	p.Sample("", float64(t.Totals.Migrations))
+	p.Family("fleet_admission_refused_total", "counter", "Submissions refused with every board burning.")
+	p.Sample("", float64(t.Totals.AdmissionRefused))
+	p.Family("fleet_power_budget_watts", "gauge", "Fleet-wide arbitrated power budget (0 = unlimited).")
+	p.Sample("", float64(t.Totals.PowerBudget))
+	p.Family("fleet_placement_imbalance", "gauge", "Max live placements per board over the ideal even share.")
+	p.Sample("", t.Totals.Imbalance)
+	return p.Flush()
+}

@@ -1,0 +1,179 @@
+package fleet
+
+import (
+	"fmt"
+
+	"zynqfusion/internal/sim"
+)
+
+// Migration is one completed stream handoff, kept in the fleet's history
+// (newest last) and served on /fleet.
+type Migration struct {
+	Stream string `json:"stream"`
+	From   string `json:"from"`
+	To     string `json:"to"`
+	// Reason records what triggered the move: "hotspot", "drain",
+	// "evacuate:<board>", an operator's reason, ...
+	Reason string `json:"reason"`
+	// ResumeSeq is the first capture sequence the continuation fuses on
+	// the target board (the frames below it fused on the source).
+	ResumeSeq int64 `json:"resume_seq"`
+	// Completed marks a stream that had already fused its whole bounded
+	// run when the migration landed: the placement moved, no
+	// continuation was started.
+	Completed bool `json:"completed,omitempty"`
+	// SegmentFused and SegmentEnergy are the retired source segment's
+	// accounting — together with the continuation's telemetry they let a
+	// reader reconstruct the stream's full history, and the difference
+	// against an unmigrated run is the migration's modeled cost (one
+	// pipeline refill at the configured depth).
+	SegmentFused  int64      `json:"segment_fused"`
+	SegmentEnergy sim.Joules `json:"segment_energy_joules"`
+}
+
+// Migrate moves one live stream to another board: the source segment is
+// stopped — the pipelined executor drains its in-flight depth and every
+// bufpool lease returns — and a continuation stream re-leases on the
+// target with StartSeq at the first unfused frame. Captured frames are a
+// pure function of (Seed, seq), so the continuation's pixels are
+// bit-identical to the frames the unmigrated stream would have fused;
+// the modeled cost of the move is one pipeline refill on the target.
+//
+// An empty target picks the next live board on the stream's ring walk
+// (bounded load, never the source); naming a down, full or unknown board
+// is an error. The newest fused frame survives the handoff as the
+// stream's served snapshot until the continuation's first frame lands.
+func (c *Fleet) Migrate(id, to, reason string) (Migration, error) {
+	c.mu.Lock()
+	m, err := c.migrateLocked(id, to, reason)
+	c.mu.Unlock()
+	return m, err
+}
+
+func (c *Fleet) migrateLocked(id, to, reason string) (Migration, error) {
+	p, ok := c.placements[id]
+	if !ok {
+		return Migration{}, fmt.Errorf("%w: %q", ErrUnknownStream, id)
+	}
+	if p.dead {
+		return Migration{}, fmt.Errorf("%w: %q", ErrStreamLost, id)
+	}
+	src := c.boards[p.board]
+
+	// Pick the target before touching the stream, so a placement failure
+	// leaves the source segment running.
+	if to == "" {
+		load := c.loadLocked()
+		capPer := BoundedCap(c.liveCountLocked(), len(c.upBoardsLocked()), c.cfg.LoadFactor)
+		t, err := c.ring.Place(id, load, capPer, func(b string) bool {
+			return b != p.board && c.boards[b].up
+		})
+		if err != nil {
+			return Migration{}, fmt.Errorf("fleet: no board can take %q: %w", id, err)
+		}
+		to = t
+	}
+	dst, ok := c.boards[to]
+	if !ok {
+		return Migration{}, fmt.Errorf("%w: %q", ErrUnknownBoard, to)
+	}
+	if !dst.up {
+		return Migration{}, fmt.Errorf("fleet: target board %q is down", to)
+	}
+	if to == p.board {
+		return Migration{}, fmt.Errorf("fleet: stream %q already on %q", id, to)
+	}
+
+	s, ok := src.farm.Get(id)
+	if !ok {
+		// The stream's last segment completed and a previous migration
+		// already retired it from its farm; only the placement moves.
+		// Handled as a completed handoff — not an error — so a migration's
+		// outcome stays a pure function of the request sequence no matter
+		// when the segment happened to finish.
+		m := Migration{
+			Stream: id, From: p.board, To: to, Reason: reason,
+			ResumeSeq: p.cfg.Frames, Completed: true,
+		}
+		p.board = to
+		p.moves++
+		c.migrations = append(c.migrations, m)
+		c.arbitrateLocked()
+		return m, nil
+	}
+
+	// Drain the source segment: Stop flushes the capture queue, the
+	// in-flight pipeline depth completes, the final snapshot materializes
+	// out of the pool and the sub-pool drains — zero leases outstanding.
+	s.Stop()
+	<-s.Done()
+	tele := s.Telemetry()
+	if snap := s.Snapshot(); snap != nil {
+		p.lastSnap = snap // plain clone: serving continuity across the gap
+	}
+	resume := s.LastFusedSeq() + 1
+	cfg := s.Config()
+	if err := src.farm.Forget(id); err != nil {
+		return Migration{}, fmt.Errorf("fleet: retiring source segment: %w", err)
+	}
+	p.priorFused += tele.Fused
+	p.priorDropped += tele.Dropped
+	p.priorMisses += tele.DeadlineMisses
+	p.priorEnergy += tele.Stages.Energy
+	p.priorBusy += tele.Stages.Total
+
+	m := Migration{
+		Stream: id, From: p.board, To: to, Reason: reason,
+		ResumeSeq: resume, SegmentFused: tele.Fused, SegmentEnergy: tele.Stages.Energy,
+	}
+	m.Completed = cfg.Frames > 0 && resume >= cfg.Frames
+	if !m.Completed {
+		cfg.StartSeq = resume
+		if _, err := dst.farm.Submit(cfg); err != nil {
+			// The target refused (burning, closing). Resume on the source:
+			// it was fusing this stream a moment ago.
+			if _, backErr := src.farm.Submit(cfg); backErr != nil {
+				p.dead = true
+				return Migration{}, fmt.Errorf("fleet: migration of %q stranded (target: %v; source: %v)", id, err, backErr)
+			}
+			p.cfg = cfg
+			return Migration{}, fmt.Errorf("fleet: target %q refused %q, resumed on %q: %w", to, id, p.board, err)
+		}
+	}
+	p.board = to
+	p.cfg = cfg
+	p.moves++
+	c.migrations = append(c.migrations, m)
+	c.arbitrateLocked()
+	return m, nil
+}
+
+// AppendSnapshotPGM appends the stream's newest fused frame as binary
+// PGM. It prefers the live segment's snapshot and falls back to the
+// frame preserved at the last migration, so the stream stays servable
+// through a handoff (and after it completes, wherever it last ran).
+func (c *Fleet) AppendSnapshotPGM(id string, dst []byte) ([]byte, bool) {
+	c.mu.Lock()
+	p, ok := c.placements[id]
+	if !ok {
+		c.mu.Unlock()
+		return dst, false
+	}
+	var b *board
+	if !p.dead {
+		b = c.boards[p.board]
+	}
+	snap := p.lastSnap
+	c.mu.Unlock()
+	if b != nil {
+		if s, ok := b.farm.Get(id); ok {
+			if out, ok := s.AppendSnapshotPGM(dst); ok {
+				return out, true
+			}
+		}
+	}
+	if snap != nil {
+		return snap.AppendPGM(dst), true
+	}
+	return dst, false
+}

@@ -1,0 +1,138 @@
+package fleet
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"zynqfusion/internal/farm"
+)
+
+// runReference fuses one stream to completion on a bare single-board
+// farm and returns its final fused frame (PGM bytes) and telemetry.
+func runReference(t *testing.T, cfg farm.StreamConfig) ([]byte, farm.StreamTelemetry) {
+	t.Helper()
+	fm := farm.New(farm.Config{})
+	defer fm.Close()
+	s, err := fm.Submit(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fm.Wait()
+	pgm, ok := s.AppendSnapshotPGM(nil)
+	if !ok {
+		t.Fatalf("reference %+v fused nothing", cfg)
+	}
+	return pgm, s.Telemetry()
+}
+
+// TestMigrationGolden pins the migration contract at pipeline depths 1,
+// 2 and 4: a stream migrated mid-run ends with pixels bit-identical to
+// an unmigrated run, and each segment's modeled energy is bit-for-bit
+// the energy of a fresh run covering exactly that segment's frames —
+// segment A equals a run bounded at the migration point j, segment B a
+// run resumed at StartSeq j. The segments are pinned against *fresh*
+// runs (not against each other) so the invariant is exact bitwise
+// float equality, with no summation-order slack.
+func TestMigrationGolden(t *testing.T) {
+	const frames = 40
+	for _, depth := range []int{1, 2, 4} {
+		t.Run(fmt.Sprintf("depth%d", depth), func(t *testing.T) {
+			c, err := New(Config{Boards: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Close()
+
+			cfg := tinyStream("m", 42, frames)
+			cfg.IntervalMS = 3 // paced so the migration lands mid-run
+			cfg.Pipelined = true
+			cfg.Depth = depth
+			s, from, err := c.Submit(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; s.Telemetry().Fused < 4; i++ {
+				if i > 2000 {
+					t.Fatal("stream never fused 4 frames")
+				}
+				time.Sleep(time.Millisecond)
+			}
+			m, err := c.Migrate("m", "", "golden")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if m.Completed || m.ResumeSeq <= 0 || m.ResumeSeq >= frames {
+				t.Fatalf("migration did not land mid-run: %+v", m)
+			}
+			if m.From != from || m.To == from {
+				t.Fatalf("migration endpoints: %+v (submitted on %s)", m, from)
+			}
+			j := m.ResumeSeq
+			if m.SegmentFused != j {
+				t.Fatalf("segment A fused %d frames, resume seq %d", m.SegmentFused, j)
+			}
+
+			c.Wait()
+			cont, _, ok := c.Get("m")
+			if !ok {
+				t.Fatal("continuation lost")
+			}
+			contTele := cont.Telemetry()
+			if contTele.Fused != frames-j {
+				t.Fatalf("continuation fused %d, want %d", contTele.Fused, frames-j)
+			}
+			migPGM, ok := c.AppendSnapshotPGM("m", nil)
+			if !ok {
+				t.Fatal("no final snapshot")
+			}
+
+			// Reference U: the unmigrated run. The headline assertion —
+			// migration is pixel-invisible.
+			full := cfg
+			uPGM, _ := runReference(t, full)
+			if !bytes.Equal(migPGM, uPGM) {
+				t.Fatalf("depth %d: migrated final frame differs from unmigrated run", depth)
+			}
+
+			// Reference A: a fresh run bounded at j reproduces segment A's
+			// modeled energy exactly.
+			segA := cfg
+			segA.Frames = j
+			_, aTele := runReference(t, segA)
+			if aTele.Stages.Energy != m.SegmentEnergy {
+				t.Fatalf("depth %d: segment A energy %v, reference %v",
+					depth, m.SegmentEnergy, aTele.Stages.Energy)
+			}
+			if aTele.Fused != m.SegmentFused {
+				t.Fatalf("depth %d: segment A fused %d, reference %d",
+					depth, m.SegmentFused, aTele.Fused)
+			}
+
+			// Reference B: a fresh run resumed at j reproduces the
+			// continuation — pixels and energy both bitwise.
+			segB := cfg
+			segB.StartSeq = j
+			bPGM, bTele := runReference(t, segB)
+			if !bytes.Equal(migPGM, bPGM) {
+				t.Fatalf("depth %d: continuation final frame differs from fresh StartSeq=%d run", depth, j)
+			}
+			if bTele.Stages.Energy != contTele.Stages.Energy {
+				t.Fatalf("depth %d: continuation energy %v, reference %v",
+					depth, contTele.Stages.Energy, bTele.Stages.Energy)
+			}
+
+			// The fleet ledger rolls the segments up: total fused across
+			// both segments covers every frame exactly once.
+			r := c.Rollup()
+			if r.Totals.Fused != frames {
+				t.Fatalf("depth %d: fleet fused %d frames total, want %d", depth, r.Totals.Fused, frames)
+			}
+			c.Close()
+			if err := c.CheckLeaks(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

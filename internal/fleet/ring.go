@@ -1,0 +1,173 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+)
+
+// ErrNoBoard reports a placement request no board can take: every board
+// is down or at its bounded-load capacity.
+var ErrNoBoard = errors.New("fleet: no board can take the stream")
+
+// DefaultVNodes is the virtual-node count per board. 128 points per
+// board keeps the arc-length spread tight enough that 1024 keys land
+// within the bounded-load envelope without cascading (the ring property
+// test pins the exact figures).
+const DefaultVNodes = 128
+
+// DefaultLoadFactor is the bounded-load expansion c of
+// consistent-hashing-with-bounded-loads: no board carries more than
+// ceil(c·K/M) of the K placed keys, so placement imbalance is capped at
+// c times ideal by construction.
+const DefaultLoadFactor = 1.25
+
+// Ring is a consistent-hash ring over board ids with virtual nodes.
+// Placement walks clockwise from the key's point, so adding or removing
+// one board only moves the keys whose arcs it gains or loses — the
+// minimal-disruption property the ring test pins. Ring is not safe for
+// concurrent use; the fleet coordinator serializes access.
+type Ring struct {
+	vnodes int
+	points []ringPoint // sorted by hash
+	boards map[string]struct{}
+}
+
+type ringPoint struct {
+	hash  uint64
+	board string
+}
+
+// NewRing builds an empty ring with the given virtual-node count per
+// board (<= 0 selects DefaultVNodes).
+func NewRing(vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	return &Ring{vnodes: vnodes, boards: make(map[string]struct{})}
+}
+
+// hashKey is FNV-1a with a splitmix64 finalizer. Raw FNV clusters badly
+// on short sequential keys ("s0", "s1", ...): whole runs of stream ids
+// land on one arc and some boards see none at all. The finalizer's
+// avalanche spreads them; the constants are splitmix64's, fixed forever
+// so placements are stable across builds.
+func hashKey(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	x := h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Add inserts a board's virtual nodes. Adding a present board is a no-op.
+func (r *Ring) Add(board string) {
+	if _, ok := r.boards[board]; ok {
+		return
+	}
+	r.boards[board] = struct{}{}
+	for i := 0; i < r.vnodes; i++ {
+		r.points = append(r.points, ringPoint{
+			hash:  hashKey(fmt.Sprintf("%s#%d", board, i)),
+			board: board,
+		})
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].board < r.points[j].board
+	})
+}
+
+// Remove deletes a board's virtual nodes. Removing an absent board is a
+// no-op.
+func (r *Ring) Remove(board string) {
+	if _, ok := r.boards[board]; !ok {
+		return
+	}
+	delete(r.boards, board)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.board != board {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+}
+
+// Boards returns the member board ids, sorted.
+func (r *Ring) Boards() []string {
+	out := make([]string, 0, len(r.boards))
+	for b := range r.boards {
+		out = append(out, b)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Owner returns the key's unconstrained home board: the first virtual
+// node clockwise from the key's hash. It ignores load and liveness —
+// Place layers those on — and reports ErrNoBoard on an empty ring.
+func (r *Ring) Owner(key string) (string, error) {
+	b, err := r.Place(key, nil, 0, nil)
+	return b, err
+}
+
+// Place returns the board for key under bounded-load placement: the walk
+// starts at the key's home point and skips boards that are down (up
+// returns false) or already at capacity (load[board] >= cap), taking the
+// first eligible board clockwise. A nil up accepts every board; cap <= 0
+// disables the load bound. The walk visits each distinct board at most
+// once and reports ErrNoBoard when none is eligible.
+//
+// Determinism: the outcome is a pure function of (ring membership, key,
+// load, cap, up) — no randomness, no iteration-order dependence — which
+// is what lets the chaos harness assert two-run-identical placements.
+func (r *Ring) Place(key string, load map[string]int, capPer int, up func(string) bool) (string, error) {
+	if len(r.points) == 0 {
+		return "", ErrNoBoard
+	}
+	h := hashKey(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	seen := make(map[string]struct{}, len(r.boards))
+	for i := 0; i < len(r.points) && len(seen) < len(r.boards); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if _, dup := seen[p.board]; dup {
+			continue
+		}
+		seen[p.board] = struct{}{}
+		if up != nil && !up(p.board) {
+			continue
+		}
+		if capPer > 0 && load[p.board] >= capPer {
+			continue
+		}
+		return p.board, nil
+	}
+	return "", ErrNoBoard
+}
+
+// BoundedCap returns the per-board key capacity for K keys across m
+// eligible boards at load factor c: ceil(c·K/m), at least 1. It is the
+// cap the coordinator passes to Place, making max-load <= c times the
+// ideal K/m a structural invariant rather than a statistical hope.
+func BoundedCap(k, m int, c float64) int {
+	if m <= 0 {
+		return 0
+	}
+	if c <= 0 {
+		c = DefaultLoadFactor
+	}
+	cap := int(math.Ceil(c * float64(k) / float64(m)))
+	if cap < 1 {
+		cap = 1
+	}
+	return cap
+}

@@ -1,0 +1,234 @@
+package fleet
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// keySets are the property-test corpora: three differently-shaped
+// 1024-key populations (sequential stream ids, zero-padded camera names,
+// seeded-random hex). The ring must meet the uniformity and disruption
+// bounds on every one — the hash has no favorite key shape.
+func keySets() map[string][]string {
+	const K = 1024
+	sets := map[string][]string{}
+	seq := make([]string, K)
+	for i := range seq {
+		seq[i] = fmt.Sprintf("s%d", i)
+	}
+	sets["sequential"] = seq
+	cam := make([]string, K)
+	for i := range cam {
+		cam[i] = fmt.Sprintf("cam-%04d", i)
+	}
+	sets["padded"] = cam
+	rng := rand.New(rand.NewSource(99))
+	hex := make([]string, K)
+	for i := range hex {
+		hex[i] = fmt.Sprintf("%016x", rng.Uint64())
+	}
+	sets["random"] = hex
+	return sets
+}
+
+func boards(m int) []string {
+	out := make([]string, m)
+	for i := range out {
+		out[i] = fmt.Sprintf("board%d", i)
+	}
+	return out
+}
+
+// TestRingBoundedLoadUniformity places 1024 keys on M ∈ {2..16} boards
+// through the bounded-load path the coordinator uses and asserts the
+// structural guarantee: no board exceeds ceil(c·K/M) keys, i.e.
+// placement imbalance is capped at the load factor c = 1.25 over ideal.
+func TestRingBoundedLoadUniformity(t *testing.T) {
+	for name, keys := range keySets() {
+		for m := 2; m <= 16; m++ {
+			r := NewRing(0)
+			for _, b := range boards(m) {
+				r.Add(b)
+			}
+			load := map[string]int{}
+			for i, key := range keys {
+				cap := BoundedCap(i+1, m, DefaultLoadFactor)
+				b, err := r.Place(key, load, cap, nil)
+				if err != nil {
+					t.Fatalf("%s m=%d: key %q unplaceable: %v", name, m, key, err)
+				}
+				load[b]++
+			}
+			bound := BoundedCap(len(keys), m, DefaultLoadFactor)
+			for b, n := range load {
+				if n > bound {
+					t.Errorf("%s m=%d: board %s holds %d keys, bounded-load cap %d", name, m, b, n, bound)
+				}
+			}
+		}
+	}
+}
+
+// TestRingUnboundedSpread bounds the raw (load-blind) consistent-hash
+// spread: with 128 virtual nodes per board the hottest board stays under
+// 1.5x the ideal K/M share for every M ∈ {2..16} and every key corpus.
+// This is the statistical layer; the bounded-load cap above is the hard
+// one.
+func TestRingUnboundedSpread(t *testing.T) {
+	for name, keys := range keySets() {
+		for m := 2; m <= 16; m++ {
+			r := NewRing(0)
+			for _, b := range boards(m) {
+				r.Add(b)
+			}
+			load := map[string]int{}
+			for _, key := range keys {
+				b, err := r.Owner(key)
+				if err != nil {
+					t.Fatal(err)
+				}
+				load[b]++
+			}
+			for b, n := range load {
+				if n*m*2 > len(keys)*3 { // n > 1.5 * K/m
+					t.Errorf("%s m=%d: board %s owns %d of %d keys (> 1.5x ideal %d)",
+						name, m, b, n, len(keys), len(keys)/m)
+				}
+			}
+		}
+	}
+}
+
+// TestRingMinimalDisruption pins the consistent-hashing contract on
+// join and leave for M ∈ {2..16}:
+//
+//   - join: every moved key moves *to* the new board, and at most
+//     ceil(K/M)+slack keys move (slack = K/16 covers vnode-arc variance);
+//   - leave: exactly the departed board's keys move, every key that was
+//     on a surviving board stays put.
+func TestRingMinimalDisruption(t *testing.T) {
+	const slackDiv = 16
+	for name, keys := range keySets() {
+		for m := 2; m <= 16; m++ {
+			r := NewRing(0)
+			for _, b := range boards(m) {
+				r.Add(b)
+			}
+			owner := map[string]string{}
+			for _, key := range keys {
+				b, err := r.Owner(key)
+				if err != nil {
+					t.Fatal(err)
+				}
+				owner[key] = b
+			}
+
+			// Join.
+			r.Add("boardX")
+			moved := 0
+			for _, key := range keys {
+				b, _ := r.Owner(key)
+				if b != owner[key] {
+					if b != "boardX" {
+						t.Fatalf("%s m=%d: key %q moved %s->%s on join, not to the new board",
+							name, m, key, owner[key], b)
+					}
+					moved++
+				}
+			}
+			bound := (len(keys)+m-1)/m + len(keys)/slackDiv
+			if moved > bound {
+				t.Errorf("%s m=%d: join moved %d keys, bound ceil(K/M)+K/%d = %d",
+					name, m, moved, slackDiv, bound)
+			}
+
+			// Leave (remove the joined board): everything returns to its
+			// pre-join owner — leave disruption is exactly the departed
+			// board's keys, and the round trip is lossless.
+			r.Remove("boardX")
+			for _, key := range keys {
+				b, _ := r.Owner(key)
+				if b != owner[key] {
+					t.Fatalf("%s m=%d: key %q on %s after join+leave, was on %s",
+						name, m, key, b, owner[key])
+				}
+			}
+
+			// Leave of an original member: only its keys move.
+			r.Remove("board0")
+			movedLeave := 0
+			for _, key := range keys {
+				b, _ := r.Owner(key)
+				if owner[key] == "board0" {
+					if b == "board0" {
+						t.Fatalf("%s m=%d: key %q still on removed board", name, m, key)
+					}
+					movedLeave++
+				} else if b != owner[key] {
+					t.Fatalf("%s m=%d: key %q moved %s->%s though its board survived",
+						name, m, key, owner[key], b)
+				}
+			}
+			if movedLeave > bound {
+				t.Errorf("%s m=%d: leave moved %d keys, bound %d", name, m, movedLeave, bound)
+			}
+		}
+	}
+}
+
+// TestRingPlaceSkipsDownAndFull exercises the walk's liveness and
+// capacity skips: a down home board is passed over, a full board is
+// passed over, and when nothing is eligible Place reports ErrNoBoard.
+func TestRingPlaceSkipsDownAndFull(t *testing.T) {
+	r := NewRing(0)
+	r.Add("a")
+	r.Add("b")
+	home, err := r.Owner("key")
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := "a"
+	if home == "a" {
+		other = "b"
+	}
+	up := func(b string) bool { return b != home }
+	if got, err := r.Place("key", nil, 0, up); err != nil || got != other {
+		t.Fatalf("down home: placed on %q (%v), want %q", got, err, other)
+	}
+	load := map[string]int{home: 5}
+	if got, err := r.Place("key", load, 5, nil); err != nil || got != other {
+		t.Fatalf("full home: placed on %q (%v), want %q", got, err, other)
+	}
+	load[other] = 5
+	if _, err := r.Place("key", load, 5, nil); err != ErrNoBoard {
+		t.Fatalf("all full: err = %v, want ErrNoBoard", err)
+	}
+	if _, err := r.Place("key", nil, 0, func(string) bool { return false }); err != ErrNoBoard {
+		t.Fatalf("all down: err = %v, want ErrNoBoard", err)
+	}
+	if _, err := NewRing(0).Owner("key"); err != ErrNoBoard {
+		t.Fatalf("empty ring: err = %v, want ErrNoBoard", err)
+	}
+}
+
+func TestBoundedCap(t *testing.T) {
+	cases := []struct {
+		k, m int
+		c    float64
+		want int
+	}{
+		{256, 8, 1.25, 40}, // the acceptance figure: 1.25x ideal 32
+		{1024, 16, 1.25, 80},
+		{10, 3, 1.25, 5},
+		{1, 4, 1.25, 1},
+		{0, 4, 1.25, 1},
+		{5, 0, 1.25, 0},
+		{8, 4, 0, 3}, // c<=0 takes the default 1.25
+	}
+	for _, c := range cases {
+		if got := BoundedCap(c.k, c.m, c.c); got != c.want {
+			t.Errorf("BoundedCap(%d, %d, %g) = %d, want %d", c.k, c.m, c.c, got, c.want)
+		}
+	}
+}

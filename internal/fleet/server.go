@@ -1,0 +1,198 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"sync"
+
+	"zynqfusion/internal/farm"
+)
+
+// NewServer returns the fusiond --fleet HTTP handler over a coordinator.
+//
+//	GET    /healthz                   liveness probe (503 while draining)
+//	GET    /fleet                     fleet rollup JSON: boards, placements,
+//	                                  migration history, totals
+//	GET    /metrics                   the same rollup
+//	GET    /metrics?format=prometheus fleet_* families in Prometheus text format
+//	GET    /boards/{id}               one board's full farm Metrics document
+//	POST   /boards/{id}/kill          take the board down (?evacuate=false to
+//	                                  drop its streams instead of migrating)
+//	POST   /boards/{id}/restore       bring a killed board back (fresh epoch)
+//	POST   /streams                   submit a stream (farm StreamConfig JSON);
+//	                                  the coordinator places it
+//	GET    /streams                   placement telemetry for every stream
+//	GET    /streams/{id}              one stream's placement telemetry
+//	DELETE /streams/{id}              stop a stream wherever it runs
+//	POST   /streams/{id}/migrate      move the stream (?to=boardN pins the
+//	                                  target, otherwise the ring picks one)
+//	GET    /streams/{id}/snapshot.pgm latest fused frame as binary PGM,
+//	                                  servable across a migration handoff
+func NewServer(c *Fleet) http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if c.Closed() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			w.Write([]byte("draining\n"))
+			return
+		}
+		w.Write([]byte("ok\n"))
+	})
+
+	rollup := func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("format") == "prometheus" {
+			var buf bytes.Buffer
+			if err := WritePrometheus(&buf, c.Rollup()); err != nil {
+				writeError(w, http.StatusInternalServerError, err.Error())
+				return
+			}
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			w.Write(buf.Bytes())
+			return
+		}
+		writeJSON(w, http.StatusOK, c.Rollup())
+	}
+	mux.HandleFunc("GET /fleet", rollup)
+	mux.HandleFunc("GET /metrics", rollup)
+
+	mux.HandleFunc("GET /boards/{id}", func(w http.ResponseWriter, r *http.Request) {
+		m, ok := c.BoardMetrics(r.PathValue("id"))
+		if !ok {
+			writeError(w, http.StatusNotFound, "no such board")
+			return
+		}
+		writeJSON(w, http.StatusOK, m)
+	})
+
+	mux.HandleFunc("POST /boards/{id}/kill", func(w http.ResponseWriter, r *http.Request) {
+		evacuate := r.URL.Query().Get("evacuate") != "false"
+		lost, err := c.Kill(r.PathValue("id"), evacuate)
+		if err != nil {
+			status := http.StatusConflict
+			if errors.Is(err, ErrUnknownBoard) {
+				status = http.StatusNotFound
+			}
+			writeError(w, status, err.Error())
+			return
+		}
+		if lost == nil {
+			lost = []string{}
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"killed": r.PathValue("id"), "lost": lost})
+	})
+
+	mux.HandleFunc("POST /boards/{id}/restore", func(w http.ResponseWriter, r *http.Request) {
+		if err := c.Restore(r.PathValue("id")); err != nil {
+			status := http.StatusConflict
+			if errors.Is(err, ErrUnknownBoard) {
+				status = http.StatusNotFound
+			}
+			writeError(w, status, err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"restored": r.PathValue("id")})
+	})
+
+	mux.HandleFunc("POST /streams", func(w http.ResponseWriter, r *http.Request) {
+		var cfg farm.StreamConfig
+		if err := json.NewDecoder(r.Body).Decode(&cfg); err != nil {
+			writeError(w, http.StatusBadRequest, "bad stream config: "+err.Error())
+			return
+		}
+		s, boardID, err := c.Submit(cfg)
+		if err != nil {
+			status := http.StatusBadRequest
+			switch {
+			case errors.Is(err, ErrClosed), errors.Is(err, farm.ErrSLOBurning), errors.Is(err, ErrNoBoard):
+				status = http.StatusServiceUnavailable
+			case errors.Is(err, farm.ErrDuplicate):
+				status = http.StatusConflict
+			}
+			writeError(w, status, err.Error())
+			return
+		}
+		writeJSON(w, http.StatusCreated, map[string]any{
+			"board": boardID, "stream": s.Telemetry(),
+		})
+	})
+
+	mux.HandleFunc("GET /streams", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, c.Rollup().Placements)
+	})
+
+	mux.HandleFunc("GET /streams/{id}", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		for _, p := range c.Rollup().Placements {
+			if p.Stream == id {
+				writeJSON(w, http.StatusOK, p)
+				return
+			}
+		}
+		writeError(w, http.StatusNotFound, "no such stream")
+	})
+
+	mux.HandleFunc("DELETE /streams/{id}", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		if err := c.Stop(id); err != nil {
+			writeError(w, http.StatusNotFound, err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"stopped": id})
+	})
+
+	mux.HandleFunc("POST /streams/{id}/migrate", func(w http.ResponseWriter, r *http.Request) {
+		reason := r.URL.Query().Get("reason")
+		if reason == "" {
+			reason = "operator"
+		}
+		m, err := c.Migrate(r.PathValue("id"), r.URL.Query().Get("to"), reason)
+		if err != nil {
+			status := http.StatusConflict
+			switch {
+			case errors.Is(err, ErrUnknownStream), errors.Is(err, ErrUnknownBoard):
+				status = http.StatusNotFound
+			case errors.Is(err, ErrStreamLost):
+				status = http.StatusGone
+			case errors.Is(err, farm.ErrSLOBurning), errors.Is(err, ErrNoBoard):
+				status = http.StatusServiceUnavailable
+			}
+			writeError(w, status, err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, m)
+	})
+
+	// Same recycling discipline as the per-farm server: encode straight
+	// into a borrowed buffer, no per-request clone.
+	snapBufs := sync.Pool{New: func() any { return new([]byte) }}
+	mux.HandleFunc("GET /streams/{id}/snapshot.pgm", func(w http.ResponseWriter, r *http.Request) {
+		bp := snapBufs.Get().(*[]byte)
+		defer snapBufs.Put(bp)
+		buf, ok := c.AppendSnapshotPGM(r.PathValue("id"), (*bp)[:0])
+		*bp = buf[:0]
+		if !ok {
+			writeError(w, http.StatusNotFound, "no fused frame yet")
+			return
+		}
+		w.Header().Set("Content-Type", "image/x-portable-graymap")
+		w.Write(buf)
+	})
+
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}

@@ -15,9 +15,12 @@ import (
 // KernelSpeedupCell is one wall-clock comparison of the tiled multi-worker
 // kernel engine against the scalar baseline (the NEON engine pinned to its
 // emulated per-instruction unit, the pre-kernel-engine execution path) on
-// the same frame sequence. The modeled platform must be oblivious to the
+// the same frame sequence, plus the operator-fusion pass against the tiled
+// engine it builds on. The modeled platform must be oblivious to the
 // host-side execution strategy, so the cell also records whether the fused
-// pixels and the accumulated modeled StageTimes matched bit for bit.
+// pixels and the accumulated modeled StageTimes (energy included) matched
+// bit for bit — for fusion, across both a single-worker and a full-width
+// run.
 type KernelSpeedupCell struct {
 	Size            string  `json:"size"`
 	Frames          int     `json:"frames"`
@@ -27,6 +30,17 @@ type KernelSpeedupCell struct {
 	Speedup         float64 `json:"speedup"`
 	PixelsIdentical bool    `json:"pixels_identical"`
 	StagesIdentical bool    `json:"stages_identical"`
+
+	// Operator-fusion columns: the fused run reuses the tiled engine and
+	// worker pool, so FusedOverTiled isolates what the fusion pass itself
+	// buys. The identity booleans AND the workers=1 and workers=N fused
+	// runs against the unfused tiled reference.
+	FusedWallMS          float64 `json:"fused_wall_ms"`
+	FusedOverTiled       float64 `json:"fused_over_tiled"`
+	FusedPixelsIdentical bool    `json:"fused_pixels_identical"`
+	FusedStagesIdentical bool    `json:"fused_stages_identical"`
+	FusedPlanesElided    int64   `json:"fused_planes_elided"`
+	FusedBytesSaved      int64   `json:"fused_bytes_saved"`
 }
 
 // KernelSpeedupResult is the kernel-speedup experiment's structured record.
@@ -54,84 +68,182 @@ func kernelSpeedupAxes() []struct {
 	}{{Size{320, 180}, 8}, {Size{1920, 1080}, 3}}
 }
 
-// runKernelVariant fuses frames pairs at s on one NEON pipeline and returns
-// the wall-clock per measured frame, the accumulated modeled stage record,
-// and the final fused frame (caller releases). emulated selects the scalar
-// baseline unit; workers sizes the kernel pool (0 = GOMAXPROCS).
-func runKernelVariant(s Size, frames int, emulated bool, workers int) (float64, pipeline.StageTimes, *frame.Frame, error) {
+// speedupReps is how many interleaved timing rounds the tiled-vs-fused
+// comparison runs. Alternating the two variants round-robin and keeping
+// each one's fastest round cancels the slow drift of a shared or noisy
+// host, which a single back-to-back measurement folds straight into the
+// ratio.
+const speedupReps = 7
+
+// kernelVariant is one warmed pipeline configuration under measurement.
+type kernelVariant struct {
+	fu      *pipeline.Fuser
+	vis, ir *frame.Frame
+}
+
+// newKernelVariant builds and warms one NEON pipeline at s. emulated
+// selects the scalar baseline unit; workers sizes the kernel pool
+// (0 = GOMAXPROCS); fused enables the operator-fusion pass.
+func newKernelVariant(s Size, emulated, fused bool, workers int) (*kernelVariant, error) {
 	var eng engine.Engine
 	if emulated {
 		eng = engine.NewNEONEmulated(false)
 	} else {
 		eng = engine.NewNEON(false)
 	}
-	fu := pipeline.New(eng, pipeline.Config{IncludeIO: true, KernelWorkers: workers})
-	defer fu.Close()
-	vis, ir := SourcePair(s)
-	warm, _, err := fu.FuseFrames(vis, ir) // lease planes, spawn workers
+	fu := pipeline.New(eng, pipeline.Config{IncludeIO: true, KernelWorkers: workers, KernelFusion: fused})
+	v := &kernelVariant{fu: fu}
+	v.vis, v.ir = SourcePair(s)
+	warm, _, err := fu.FuseFrames(v.vis, v.ir) // lease planes, spawn workers
 	if err != nil {
-		return 0, pipeline.StageTimes{}, nil, err
+		fu.Close()
+		return nil, err
 	}
 	warm.Release()
+	return v, nil
+}
+
+func (v *kernelVariant) close() { v.fu.Close() }
+
+// batch fuses frames pairs and returns the fastest single-frame
+// wall-clock, the accumulated modeled stage record and, when keep is set,
+// the final fused frame (caller releases; nil otherwise). The fastest
+// frame — not the mean — is the estimator throughout this experiment:
+// on a shared host the minimum tracks the code's cost while the mean
+// tracks the neighbours'. The modeled record is deterministic, so any
+// round's batch yields the canonical accumulation.
+func (v *kernelVariant) batch(frames int, keep bool) (float64, pipeline.StageTimes, *frame.Frame, error) {
 	var acc pipeline.StageTimes
 	var last *frame.Frame
-	start := time.Now()
+	minMS := math.Inf(1)
 	for i := 0; i < frames; i++ {
-		out, st, err := fu.FuseFrames(vis, ir)
+		start := time.Now()
+		out, st, err := v.fu.FuseFrames(v.vis, v.ir)
 		if err != nil {
+			if last != nil {
+				last.Release()
+			}
 			return 0, pipeline.StageTimes{}, nil, err
 		}
+		if ms := float64(time.Since(start).Microseconds()) / 1e3; ms < minMS {
+			minMS = ms
+		}
 		acc.Add(st)
-		if i == frames-1 {
+		if keep && i == frames-1 {
 			last = out
 		} else {
 			out.Release()
 		}
 	}
-	wallMS := float64(time.Since(start).Microseconds()) / 1e3 / float64(frames)
-	return wallMS, acc, last, nil
+	return minMS, acc, last, nil
 }
 
-// MeasureKernelSpeedupCell runs the scalar baseline and the tiled engine at
-// workers = host cores over the same frames and compares their outputs.
+// samePixels reports bit-identity of two frames.
+func samePixels(a, b *frame.Frame) bool {
+	if !a.SameSize(b) {
+		return false
+	}
+	for i := range a.Pix {
+		if math.Float32bits(a.Pix[i]) != math.Float32bits(b.Pix[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// MeasureKernelSpeedupCell runs the scalar baseline, the tiled engine at
+// workers = host cores, and the operator-fused engine at workers 1 and N
+// over the same frames, and compares their outputs. The tiled and fused
+// variants are timed as interleaved rounds with the fastest round kept,
+// so the fused-over-tiled ratio is insensitive to host noise drifting
+// between the two measurements.
 func MeasureKernelSpeedupCell(s Size, frames int) (KernelSpeedupCell, error) {
-	scalarMS, scalarSt, scalarOut, err := runKernelVariant(s, frames, true, 1)
+	scalar, err := newKernelVariant(s, true, false, 1)
+	if err != nil {
+		return KernelSpeedupCell{}, err
+	}
+	scalarMS, scalarSt, scalarOut, err := scalar.batch(frames, true)
+	scalar.close() // free the emulated pipeline before the timed rounds
 	if err != nil {
 		return KernelSpeedupCell{}, err
 	}
 	defer scalarOut.Release()
-	tiledMS, tiledSt, tiledOut, err := runKernelVariant(s, frames, false, 0)
+	tiled, err := newKernelVariant(s, false, false, 0)
+	if err != nil {
+		return KernelSpeedupCell{}, err
+	}
+	defer tiled.close()
+	fused, err := newKernelVariant(s, false, true, 0)
+	if err != nil {
+		return KernelSpeedupCell{}, err
+	}
+	defer fused.close()
+	tiledMS, tiledSt, tiledOut, err := tiled.batch(frames, true)
 	if err != nil {
 		return KernelSpeedupCell{}, err
 	}
 	defer tiledOut.Release()
+	fusedMS, fusedSt, fusedOut, err := fused.batch(frames, true)
+	if err != nil {
+		return KernelSpeedupCell{}, err
+	}
+	defer fusedOut.Release()
+	for r := 1; r < speedupReps; r++ {
+		v, _, _, err := tiled.batch(frames, false)
+		if err != nil {
+			return KernelSpeedupCell{}, err
+		}
+		if v < tiledMS {
+			tiledMS = v
+		}
+		if v, _, _, err = fused.batch(frames, false); err != nil {
+			return KernelSpeedupCell{}, err
+		}
+		if v < fusedMS {
+			fusedMS = v
+		}
+	}
+	fstats := fused.fu.FusionStats()
+	fused1, err := newKernelVariant(s, false, true, 1)
+	if err != nil {
+		return KernelSpeedupCell{}, err
+	}
+	defer fused1.close()
+	_, fused1St, fused1Out, err := fused1.batch(frames, true)
+	if err != nil {
+		return KernelSpeedupCell{}, err
+	}
+	defer fused1Out.Release()
 	cell := KernelSpeedupCell{
-		Size:            s.String(),
-		Frames:          frames,
-		Workers:         runtime.GOMAXPROCS(0),
-		ScalarWallMS:    scalarMS,
-		TiledWallMS:     tiledMS,
-		PixelsIdentical: true,
-		StagesIdentical: scalarSt == tiledSt,
+		Size:                 s.String(),
+		Frames:               frames,
+		Workers:              runtime.GOMAXPROCS(0),
+		ScalarWallMS:         scalarMS,
+		TiledWallMS:          tiledMS,
+		FusedWallMS:          fusedMS,
+		PixelsIdentical:      samePixels(scalarOut, tiledOut),
+		StagesIdentical:      scalarSt == tiledSt,
+		FusedPixelsIdentical: samePixels(tiledOut, fused1Out) && samePixels(tiledOut, fusedOut),
+		FusedStagesIdentical: tiledSt == fused1St && tiledSt == fusedSt,
+		FusedPlanesElided:    fstats.PlanesElided,
+		FusedBytesSaved:      fstats.BytesSaved,
 	}
 	if tiledMS > 0 {
 		cell.Speedup = scalarMS / tiledMS
 	}
-	for i := range scalarOut.Pix {
-		if math.Float32bits(scalarOut.Pix[i]) != math.Float32bits(tiledOut.Pix[i]) {
-			cell.PixelsIdentical = false
-			break
-		}
+	if fusedMS > 0 {
+		cell.FusedOverTiled = tiledMS / fusedMS
 	}
 	return cell, nil
 }
 
 // KernelSpeedup runs the tiled-kernel wall-clock experiment: the blocked,
-// BCE-clean, goroutine-parallel hot loops against the scalar baseline,
-// with the modeled outputs pinned identical. Speedup scales with host
-// cores (the worker pool is capped at GOMAXPROCS), so the recorded figure
-// is a property of the machine that ran the benchmark — the Cores field
-// says which — while the identical-output columns must hold everywhere.
+// BCE-clean, goroutine-parallel hot loops against the scalar baseline, and
+// the operator-fusion pass against the tiled engine, with the modeled
+// outputs pinned identical. Speedups scale with host cores (the worker
+// pool is capped at GOMAXPROCS), so the recorded figures are properties of
+// the machine that ran the benchmark — the Cores field says which — while
+// the identical-output columns must hold everywhere.
 func KernelSpeedup() (KernelSpeedupResult, error) {
 	res := KernelSpeedupResult{
 		Schema:     ResultSchema,
@@ -154,16 +266,18 @@ func RunKernelSpeedup(w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "tiled kernel engine vs scalar baseline (NEON model, %d host cores):\n", res.Cores)
-	fmt.Fprintf(w, "%-12s %7s %8s %16s %16s %9s %8s %8s\n",
-		"size", "frames", "workers", "scalar(ms/f)", "tiled(ms/f)", "speedup", "pixels", "stages")
+	fmt.Fprintf(w, "tiled kernel engine vs scalar baseline, operator fusion vs tiled (NEON model, %d host cores):\n", res.Cores)
+	fmt.Fprintf(w, "%-12s %7s %8s %13s %13s %8s %13s %8s %7s %7s\n",
+		"size", "frames", "workers", "scalar(ms/f)", "tiled(ms/f)", "speedup", "fused(ms/f)", "fx/tiled", "pixels", "stages")
 	okStr := map[bool]string{true: "same", false: "DIFFER"}
 	for _, c := range res.Cells {
-		fmt.Fprintf(w, "%-12s %7d %8d %16.2f %16.2f %8.2fx %8s %8s\n",
+		fmt.Fprintf(w, "%-12s %7d %8d %13.2f %13.2f %7.2fx %13.2f %7.2fx %7s %7s\n",
 			c.Size, c.Frames, c.Workers, c.ScalarWallMS, c.TiledWallMS, c.Speedup,
-			okStr[c.PixelsIdentical], okStr[c.StagesIdentical])
+			c.FusedWallMS, c.FusedOverTiled,
+			okStr[c.PixelsIdentical && c.FusedPixelsIdentical],
+			okStr[c.StagesIdentical && c.FusedStagesIdentical])
 	}
-	fmt.Fprintln(w, "pixels and modeled StageTimes are required bit-identical: worker count is")
-	fmt.Fprintln(w, "host scheduling only, never part of the modeled platform")
+	fmt.Fprintln(w, "pixels and modeled StageTimes are required bit-identical: worker count and")
+	fmt.Fprintln(w, "operator fusion are host scheduling only, never part of the modeled platform")
 	return nil
 }

@@ -35,7 +35,20 @@ func TestKernelSpeedupShort(t *testing.T) {
 		if c.Speedup <= 0 {
 			t.Fatalf("%s: speedup %.2f not recorded", c.Size, c.Speedup)
 		}
-		t.Logf("%s: %.2fx over the scalar baseline on %d workers", c.Size, c.Speedup, c.Workers)
+		if !c.FusedPixelsIdentical {
+			t.Fatalf("%s: fused pixels diverged from the tiled reference", c.Size)
+		}
+		if !c.FusedStagesIdentical {
+			t.Fatalf("%s: fused modeled StageTimes diverged from the tiled reference", c.Size)
+		}
+		if c.FusedOverTiled <= 0 {
+			t.Fatalf("%s: fused speedup %.2f not recorded", c.Size, c.FusedOverTiled)
+		}
+		if c.FusedPlanesElided <= 0 || c.FusedBytesSaved <= 0 {
+			t.Fatalf("%s: fusion elided nothing: %+v", c.Size, c)
+		}
+		t.Logf("%s: tiled %.2fx over scalar, fused %.2fx over tiled on %d workers",
+			c.Size, c.Speedup, c.FusedOverTiled, c.Workers)
 	}
 	if err := RunKernelSpeedup(io.Discard); err != nil {
 		t.Fatal(err)
@@ -51,15 +64,35 @@ func TestKernelSpeedup1080pAcceptance(t *testing.T) {
 	if testing.Short() {
 		t.Skip("1080p cells are expensive; run without -short")
 	}
-	cell, err := MeasureKernelSpeedupCell(Size{1920, 1080}, 2)
-	if err != nil {
-		t.Fatal(err)
+	// Wall-clock ratios are measured while the rest of the suite may be
+	// hammering every core (go test runs packages in parallel), so the
+	// ratio line gets a bounded retry: a real regression fails all three
+	// attempts, a scheduler hiccup does not fail the build. The identity
+	// columns are deterministic and must hold on every attempt.
+	var cell KernelSpeedupCell
+	for attempt := 1; ; attempt++ {
+		var err error
+		cell, err = MeasureKernelSpeedupCell(Size{1920, 1080}, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !cell.PixelsIdentical || !cell.StagesIdentical {
+			t.Fatalf("1080p tiled outputs diverged from the scalar baseline: %+v", cell)
+		}
+		if !cell.FusedPixelsIdentical || !cell.FusedStagesIdentical {
+			t.Fatalf("1080p fused outputs diverged from the tiled reference: %+v", cell)
+		}
+		t.Logf("1080p: scalar %.1fms/frame, tiled %.1fms/frame (%.2fx), fused %.1fms/frame (%.2fx over tiled) on %d workers",
+			cell.ScalarWallMS, cell.TiledWallMS, cell.Speedup,
+			cell.FusedWallMS, cell.FusedOverTiled, cell.Workers)
+		if cell.FusedOverTiled >= 1.3 {
+			break
+		}
+		if attempt == 3 {
+			t.Fatalf("1080p fused-over-tiled %.2fx below the 1.3x acceptance line after %d attempts",
+				cell.FusedOverTiled, attempt)
+		}
 	}
-	if !cell.PixelsIdentical || !cell.StagesIdentical {
-		t.Fatalf("1080p tiled outputs diverged from the scalar baseline: %+v", cell)
-	}
-	t.Logf("1080p: scalar %.1fms/frame, tiled %.1fms/frame, %.2fx on %d workers",
-		cell.ScalarWallMS, cell.TiledWallMS, cell.Speedup, cell.Workers)
 	if runtime.GOMAXPROCS(0) < 4 {
 		t.Skipf("only %d schedulable cores: the >=4x line needs >=4", runtime.GOMAXPROCS(0))
 	}

@@ -1,0 +1,143 @@
+package fusion
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"zynqfusion/internal/engine"
+	"zynqfusion/internal/frame"
+	"zynqfusion/internal/kernels"
+	"zynqfusion/internal/wavelet"
+)
+
+// noQuadRule is a custom rule without a fused quad kernel: the planner
+// must refuse to fuse it and FuseQuads must reject it.
+type noQuadRule struct{}
+
+func (noQuadRule) Name() string                            { return "no-quad" }
+func (noQuadRule) FuseBand(dst, a, b *wavelet.ComplexBand) {}
+func (noQuadRule) FuseLL(dst, a, b *frame.Frame)           {}
+
+func TestCanFuseRule(t *testing.T) {
+	for _, rule := range []Rule{MaxMagnitude{}, Average{}, WindowEnergy{}, WindowEnergy{R: 2}} {
+		if !CanFuseRule(rule) {
+			t.Errorf("%s: built-in rule reported unfusable", rule.Name())
+		}
+	}
+	if CanFuseRule(noQuadRule{}) {
+		t.Error("custom rule without a quad kernel reported fusable")
+	}
+}
+
+// TestFuseQuadsBitExact pins the fused combine+rule+distribute kernels
+// against the unfused chain end to end: dual-stream quad forward →
+// FuseQuads → fused inverse must reconstruct bit-identically to unfused
+// forwards → complex-band Fuse → distributing inverse, with the modeled
+// charge totals equal — for every built-in rule, sequential and across a
+// worker pool.
+func TestFuseQuadsBitExact(t *testing.T) {
+	prev := runtime.GOMAXPROCS(8)
+	defer runtime.GOMAXPROCS(prev)
+	rng := rand.New(rand.NewSource(31))
+	const w, h, levels = 64, 48, 3
+	vis := randFrame(rng, w, h)
+	ir := randFrame(rng, w, h)
+	for _, rule := range []Rule{MaxMagnitude{}, Average{}, WindowEnergy{}, WindowEnergy{R: 2}} {
+		for _, workers := range []int{1, 4} {
+			t.Run(rule.Name(), func(t *testing.T) {
+				var pool *kernels.Workers
+				if workers > 1 {
+					pool = kernels.NewWorkers(workers)
+					defer pool.Close()
+				}
+
+				refK := engine.NewNEON(false)
+				refX := wavelet.NewXfm(refK)
+				refX.SetWorkers(pool)
+				refDT := wavelet.NewDTCWT(refX, wavelet.DefaultTreeBanks())
+				pa, err := refDT.Forward(vis, levels)
+				if err != nil {
+					t.Fatal(err)
+				}
+				pb, err := refDT.Forward(ir, levels)
+				if err != nil {
+					t.Fatal(err)
+				}
+				fp, err := Fuse(rule, pa, pb)
+				if err != nil {
+					t.Fatal(err)
+				}
+				recRef, err := refDT.Inverse(fp)
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				qK := engine.NewNEON(false)
+				qX := wavelet.NewXfm(qK)
+				qX.SetWorkers(pool)
+				qDT := wavelet.NewDTCWT(qX, wavelet.DefaultTreeBanks())
+				qa, qb := &wavelet.DTPyramid{}, &wavelet.DTPyramid{}
+				if err := qDT.ForwardPairInto(qa, qb, vis, ir, levels, false); err != nil {
+					t.Fatal(err)
+				}
+				dst := &wavelet.DTPyramid{}
+				if err := qDT.ShapeQuadPyramid(dst, w, h, levels); err != nil {
+					t.Fatal(err)
+				}
+				ws := NewWorkspace(nil, pool)
+				defer ws.Release()
+				if err := FuseQuads(ws, rule, dst, qa, qb); err != nil {
+					t.Fatal(err)
+				}
+				recQ, err := qDT.InverseFused(dst)
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				if recRef.W != recQ.W || recRef.H != recQ.H {
+					t.Fatalf("size mismatch %dx%d vs %dx%d", recRef.W, recRef.H, recQ.W, recQ.H)
+				}
+				for i := range recRef.Pix {
+					if math.Float32bits(recRef.Pix[i]) != math.Float32bits(recQ.Pix[i]) {
+						t.Fatalf("workers=%d: fused reconstruction differs at %d: %g vs %g",
+							workers, i, recRef.Pix[i], recQ.Pix[i])
+					}
+				}
+				if refK.Elapsed() != qK.Elapsed() {
+					t.Fatalf("workers=%d: fused modeled time %v, unfused %v",
+						workers, qK.Elapsed(), refK.Elapsed())
+				}
+				if refK.Unit().C != qK.Unit().C {
+					t.Fatalf("workers=%d: fused instruction ledger diverged", workers)
+				}
+			})
+		}
+	}
+}
+
+func TestFuseQuadsErrors(t *testing.T) {
+	dt := wavelet.NewDTCWT(wavelet.NewXfm(engine.NewNEON(false)), wavelet.DefaultTreeBanks())
+	shape := func(w, h int) *wavelet.DTPyramid {
+		p := &wavelet.DTPyramid{}
+		if err := dt.ShapeQuadPyramid(p, w, h, 2); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	a, b, dst := shape(32, 32), shape(32, 32), shape(32, 32)
+	ws := NewWorkspace(nil, nil)
+	if err := FuseQuads(ws, noQuadRule{}, dst, a, b); err == nil {
+		t.Error("rule without a quad kernel accepted")
+	}
+	if err := FuseQuads(ws, MaxMagnitude{}, dst, a, shape(64, 48)); err == nil {
+		t.Error("source geometry mismatch accepted")
+	}
+	if err := FuseQuads(ws, MaxMagnitude{}, shape(64, 48), a, b); err == nil {
+		t.Error("destination geometry mismatch accepted")
+	}
+	if err := FuseQuads(ws, MaxMagnitude{}, dst, a, b); err != nil {
+		t.Errorf("well-shaped quad fusion failed: %v", err)
+	}
+}

@@ -26,6 +26,10 @@ type Workspace struct {
 	w    *kernels.Workers
 
 	mag2A, mag2B, actA, actB planeScratch
+	// The fused quad path of WindowEnergy holds z1 and z2 activity alive
+	// at once (the unfused path processes the complex bands one at a
+	// time), so it needs a second scratch bank.
+	mag2A2, mag2B2, actA2, actB2 planeScratch
 
 	// Reusable task boxes: pointer-through-interface keeps dispatch at
 	// zero allocations per frame.
@@ -35,6 +39,10 @@ type Workspace struct {
 	sel  selBandTask
 	mag  mag2Task
 	win  winSumTask
+	maxQ maxMagQuadTask
+	avgQ avgQuadTask
+	selQ selQuadTask
+	magQ quadMag2Task
 }
 
 // NewWorkspace returns a workspace leasing scratch from pool (nil → plain
@@ -54,6 +62,10 @@ func (ws *Workspace) Release() {
 	ws.mag2B.release()
 	ws.actA.release()
 	ws.actB.release()
+	ws.mag2A2.release()
+	ws.mag2B2.release()
+	ws.actA2.release()
+	ws.actB2.release()
 }
 
 // workers is nil-receiver-safe so rule code can dispatch unconditionally.

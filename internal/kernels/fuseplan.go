@@ -1,0 +1,136 @@
+package kernels
+
+// Operator-fusion planning. The fused data path — one interleaved tiled
+// traversal running both source transforms (dual-stream loop fusion), the
+// q2c combine + fusion rule executing per tile straight from the quad
+// (tree) coefficient planes, and the fused coefficients written back in
+// quad layout without materializing complex band planes — is only legal
+// for engines whose kernels offer concurrency-safe tile compute, and only
+// profitable above a size floor. The planner folds those decisions into a
+// FusionPlan per shape, cached so the per-frame hot path pays one map
+// probe (and, on the Fuser, usually not even that).
+
+// FusionPlan records which operator fusions apply to one execution shape,
+// plus the memory the plan elides when the rule fusions are active.
+type FusionPlan struct {
+	// DualStream runs the visible and infrared forward DT-CWTs as one
+	// interleaved tiled traversal over shared pad/scratch geometry and
+	// bank expansions, sharing the level-1 row passes and column gathers
+	// the separate transforms would repeat.
+	DualStream bool
+	// CombineRule fuses the q2c tree combination and the fusion rule
+	// (including window-energy activity) into one per-tile kernel reading
+	// the quad planes of both streams, eliding every per-stream complex
+	// band plane.
+	CombineRule bool
+	// RuleDistribute fuses the rule's selected coefficients through the
+	// c2q inverse combination, writing directly in quad (tree) layout and
+	// eliding the fused pyramid's complex band planes.
+	RuleDistribute bool
+
+	// PlanesElided counts the intermediate complex planes the plan never
+	// materializes per frame; BytesSaved is their total footprint.
+	PlanesElided int
+	BytesSaved   int64
+}
+
+// Any reports whether the plan enables any fusion at all.
+func (p FusionPlan) Any() bool { return p.DualStream || p.CombineRule || p.RuleDistribute }
+
+// FusionShape is the cache key a plan is decided for: frame geometry,
+// decomposition depth, worker count, and the engine facts that gate
+// legality. Any change — a DVFS retune, a worker-pool resize, an engine
+// swap — is a different shape and replans.
+type FusionShape struct {
+	W, H    int
+	Levels  int
+	Workers int
+	// Engine and PointMHz identify the engine and its PS operating point;
+	// fused and unfused execution charge identical modeled cycles, but a
+	// retuned engine must not reuse a stale plan's profitability numbers.
+	Engine   string
+	PointMHz float64
+	// Tiled reports whether the engine offers concurrency-safe tile
+	// compute (kernels.AsTile succeeded). Engines that veto tiling via
+	// TilingEnabled also veto fusion: the fused traversals are built from
+	// the same charge-free tile kernels.
+	Tiled bool
+	// RuleFusable reports whether the fusion rule has a fused quad kernel
+	// (the built-in rules do; custom rules run unfused combine/distribute
+	// but still benefit from dual-stream loop fusion).
+	RuleFusable bool
+	// Pipelined marks the inter-frame pipelined executor (depth >= 2),
+	// whose per-station stage accounting the cross-stage fusions would
+	// break; it runs unfused.
+	Pipelined bool
+}
+
+// MinFusePixels is the profitability floor: below it the fused traversal's
+// extra live planes (the shared level-1 row outputs) outweigh the elided
+// traffic, and degenerate geometries stay on the reference path.
+const MinFusePixels = 1024
+
+// FusionPlanner decides and caches fusion plans. It is not safe for
+// concurrent use; each Fuser owns one.
+type FusionPlanner struct {
+	plans  map[FusionShape]FusionPlan
+	hits   int
+	misses int
+}
+
+// NewFusionPlanner returns an empty planner.
+func NewFusionPlanner() *FusionPlanner {
+	return &FusionPlanner{plans: make(map[FusionShape]FusionPlan)}
+}
+
+// Plan returns the fusion plan for a shape, computing and caching it on
+// first sight. A shape change (operating point, workers, geometry, rule)
+// misses the cache and replans; re-presenting a seen shape is a hit.
+func (fp *FusionPlanner) Plan(s FusionShape) FusionPlan {
+	if p, ok := fp.plans[s]; ok {
+		fp.hits++
+		return p
+	}
+	fp.misses++
+	p := planFor(s)
+	fp.plans[s] = p
+	return p
+}
+
+// Stats reports the cache hit/miss counts and the number of cached plans.
+func (fp *FusionPlanner) Stats() (hits, misses, cached int) {
+	return fp.hits, fp.misses, len(fp.plans)
+}
+
+// Reset drops every cached plan (the counters persist).
+func (fp *FusionPlanner) Reset() {
+	clear(fp.plans)
+}
+
+// planFor decides a shape's plan. Legality: tile-capable engine, the
+// sequential executor, a non-degenerate geometry. The two rule fusions
+// share their legality conditions exactly (a fusable rule on a legal
+// shape), so they enable together or not at all; a custom rule keeps
+// dual-stream loop fusion alone.
+func planFor(s FusionShape) FusionPlan {
+	if !s.Tiled || s.Pipelined || s.Levels < 1 || s.W*s.H < MinFusePixels {
+		return FusionPlan{}
+	}
+	p := FusionPlan{DualStream: true}
+	if !s.RuleFusable {
+		return p
+	}
+	p.CombineRule = true
+	p.RuleDistribute = true
+	// Three pyramids (two sources and the fused workspace) each elide six
+	// complex bands — two planes per band — at every level.
+	const planesPerLevel = 3 * 6 * 2
+	cw, ch := s.W, s.H
+	for lv := 0; lv < s.Levels; lv++ {
+		mw, mh := (cw+cw%2)/2, (ch+ch%2)/2
+		p.PlanesElided += planesPerLevel
+		p.BytesSaved += int64(planesPerLevel) * int64(mw) * int64(mh) * 4
+		cw, ch = mw, mh
+	}
+	return p
+}

@@ -1,0 +1,114 @@
+package kernels
+
+import "testing"
+
+func fusableShape() FusionShape {
+	return FusionShape{
+		W: 320, H: 240, Levels: 3, Workers: 2,
+		Engine: "neon", PointMHz: 533,
+		Tiled: true, RuleFusable: true,
+	}
+}
+
+func TestFusionPlannerFullPlan(t *testing.T) {
+	fp := NewFusionPlanner()
+	p := fp.Plan(fusableShape())
+	if !p.DualStream || !p.CombineRule || !p.RuleDistribute {
+		t.Fatalf("tile-capable shape with fusable rule must fuse fully: %+v", p)
+	}
+	// 3 pyramids x 6 bands x 2 planes at each of 3 levels.
+	if want := 3 * 36; p.PlanesElided != want {
+		t.Fatalf("planes elided: got %d want %d", p.PlanesElided, want)
+	}
+	// Level sizes 160x120, 80x60, 40x30; 36 float32 planes each.
+	want := int64(36) * 4 * (160*120 + 80*60 + 40*30)
+	if p.BytesSaved != want {
+		t.Fatalf("bytes saved: got %d want %d", p.BytesSaved, want)
+	}
+}
+
+func TestFusionPlannerVetoes(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*FusionShape)
+	}{
+		{"non-tiling engine", func(s *FusionShape) { s.Tiled = false }},
+		{"pipelined executor", func(s *FusionShape) { s.Pipelined = true }},
+		{"zero levels", func(s *FusionShape) { s.Levels = 0 }},
+		{"degenerate size", func(s *FusionShape) { s.W, s.H = 16, 16 }},
+	}
+	for _, tc := range cases {
+		fp := NewFusionPlanner()
+		s := fusableShape()
+		tc.mutate(&s)
+		if p := fp.Plan(s); p.Any() {
+			t.Errorf("%s: expected full veto, got %+v", tc.name, p)
+		}
+	}
+	// A custom rule without a quad kernel keeps dual-stream fusion only.
+	s := fusableShape()
+	s.RuleFusable = false
+	p := NewFusionPlanner().Plan(s)
+	if !p.DualStream || p.CombineRule || p.RuleDistribute {
+		t.Fatalf("unfusable rule must keep dual-stream only: %+v", p)
+	}
+	if p.PlanesElided != 0 || p.BytesSaved != 0 {
+		t.Fatalf("dual-stream alone elides no planes: %+v", p)
+	}
+}
+
+func TestFusionPlannerSizeFloor(t *testing.T) {
+	s := fusableShape()
+	s.W, s.H = 32, 32 // exactly MinFusePixels
+	if p := NewFusionPlanner().Plan(s); !p.Any() {
+		t.Fatalf("%d pixels is at the floor and must fuse", s.W*s.H)
+	}
+	s.W, s.H = 32, 31
+	if p := NewFusionPlanner().Plan(s); p.Any() {
+		t.Fatalf("%d pixels is under the floor and must not fuse", s.W*s.H)
+	}
+}
+
+// TestFusionPlannerCache: re-presenting a shape hits the cache;
+// operating-point and worker changes are new shapes that replan.
+func TestFusionPlannerCache(t *testing.T) {
+	fp := NewFusionPlanner()
+	s := fusableShape()
+	first := fp.Plan(s)
+	for i := 0; i < 5; i++ {
+		if got := fp.Plan(s); got != first {
+			t.Fatalf("cached plan changed: %+v vs %+v", got, first)
+		}
+	}
+	hits, misses, cached := fp.Stats()
+	if hits != 5 || misses != 1 || cached != 1 {
+		t.Fatalf("stable shape: hits=%d misses=%d cached=%d", hits, misses, cached)
+	}
+
+	retuned := s
+	retuned.PointMHz = 250 // DVFS retune
+	fp.Plan(retuned)
+	resized := s
+	resized.Workers = 8 // worker-pool resize
+	fp.Plan(resized)
+	hits, misses, cached = fp.Stats()
+	if hits != 5 || misses != 3 || cached != 3 {
+		t.Fatalf("retune+resize must replan: hits=%d misses=%d cached=%d", hits, misses, cached)
+	}
+
+	// Both new shapes now hit.
+	fp.Plan(retuned)
+	fp.Plan(resized)
+	if hits, _, _ := fp.Stats(); hits != 7 {
+		t.Fatalf("replanned shapes must cache: hits=%d", hits)
+	}
+
+	fp.Reset()
+	if _, _, cached := fp.Stats(); cached != 0 {
+		t.Fatalf("Reset must drop plans, %d remain", cached)
+	}
+	fp.Plan(s)
+	if _, misses, _ := fp.Stats(); misses != 4 {
+		t.Fatalf("post-Reset probe must replan: misses=%d", misses)
+	}
+}

@@ -1,0 +1,225 @@
+package pipeline
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"zynqfusion/internal/camera"
+	"zynqfusion/internal/engine"
+	"zynqfusion/internal/frame"
+	"zynqfusion/internal/fusion"
+	"zynqfusion/internal/wavelet"
+)
+
+// fusePair runs one frame pair through a fresh fuser and returns the
+// result; the caller compares across configurations.
+func fusePair(t testing.TB, eng engine.Engine, cfg Config, vis, ir *frame.Frame) (*frame.Frame, StageTimes) {
+	t.Helper()
+	fu := New(eng, cfg)
+	defer fu.Close()
+	rec, st, err := fu.FuseFrames(vis, ir)
+	if err != nil {
+		t.Fatalf("FuseFrames(fusion=%v workers=%d): %v", cfg.KernelFusion, cfg.KernelWorkers, err)
+	}
+	return rec, st
+}
+
+func assertIdentical(t *testing.T, label string, ref, got *frame.Frame, refSt, gotSt StageTimes) {
+	t.Helper()
+	if !ref.SameSize(got) {
+		t.Fatalf("%s: size %dx%d vs %dx%d", label, ref.W, ref.H, got.W, got.H)
+	}
+	for i := range ref.Pix {
+		if ref.Pix[i] != got.Pix[i] {
+			t.Fatalf("%s: pixel %d diverges: %x vs %x", label, i,
+				ref.Pix[i], got.Pix[i])
+		}
+	}
+	if refSt != gotSt {
+		t.Fatalf("%s: StageTimes diverge:\nref %+v\ngot %+v", label, refSt, gotSt)
+	}
+}
+
+// TestFusedEquivalence pins the operator-fusion determinism contract:
+// with KernelFusion on, pixels and the full StageTimes (including energy)
+// are bit-identical to the unfused path, for every built-in rule, a
+// custom rule (dual-stream fusion only), odd geometry, and worker counts
+// 1 and 4.
+func TestFusedEquivalence(t *testing.T) {
+	// Real parallelism for the workers=4 rows, whatever the host core
+	// count: worker pools cap at GOMAXPROCS.
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	sc := camera.NewScene(96, 72, 7)
+	vis, ir := sc.Visible(), sc.Thermal()
+	scOdd := camera.NewScene(97, 71, 8)
+	visOdd, irOdd := scOdd.Visible(), scOdd.Thermal()
+
+	rules := []fusion.Rule{
+		nil, // default max-magnitude
+		fusion.Average{},
+		fusion.WindowEnergy{R: 1},
+		fusion.WindowEnergy{R: 0},
+		customRule{},
+	}
+	for _, rule := range rules {
+		name := "default"
+		if rule != nil {
+			name = rule.Name()
+		}
+		for _, pair := range []struct {
+			tag     string
+			vis, ir *frame.Frame
+		}{{"even", vis, ir}, {"odd", visOdd, irOdd}} {
+			for _, workers := range []int{1, 4} {
+				label := fmt.Sprintf("%s/%s/w%d", name, pair.tag, workers)
+				base := Config{Levels: 3, Rule: rule, IncludeIO: true, KernelWorkers: 1}
+				refRec, refSt := fusePair(t, engine.NewNEON(false), base, pair.vis, pair.ir)
+				cfg := base
+				cfg.KernelWorkers = workers
+				cfg.KernelFusion = true
+				gotRec, gotSt := fusePair(t, engine.NewNEON(false), cfg, pair.vis, pair.ir)
+				assertIdentical(t, label, refRec, gotRec, refSt, gotSt)
+				refRec.Release()
+				gotRec.Release()
+			}
+		}
+	}
+}
+
+// customRule has no fused quad kernel, so the planner keeps only the
+// dual-stream pass for it.
+type customRule struct{}
+
+func (customRule) Name() string { return "custom-avg" }
+func (customRule) FuseBand(dst, a, b *wavelet.ComplexBand) {
+	for i := range dst.Re {
+		dst.Re[i] = 0.5 * (a.Re[i] + b.Re[i])
+		dst.Im[i] = 0.5 * (a.Im[i] + b.Im[i])
+	}
+}
+func (customRule) FuseLL(dst, a, b *frame.Frame) {
+	for i := range dst.Pix {
+		dst.Pix[i] = 0.5 * (a.Pix[i] + b.Pix[i])
+	}
+}
+
+// TestFusedStatsAccumulate checks the fuser-side fusion accounting: fused
+// frames count, plane/byte elision accumulates, and the single-entry memo
+// means the planner sees one miss for a stable shape.
+func TestFusedStatsAccumulate(t *testing.T) {
+	sc := camera.NewScene(64, 48, 3)
+	fu := New(engine.NewNEON(false), Config{Levels: 2, KernelFusion: true})
+	defer fu.Close()
+	const frames = 4
+	for i := 0; i < frames; i++ {
+		rec, _, err := fu.FuseFrames(sc.Visible(), sc.Thermal())
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec.Release()
+		sc.Advance()
+	}
+	s := fu.FusionStats()
+	if !s.Enabled || s.FusedFrames != frames {
+		t.Fatalf("stats: %+v", s)
+	}
+	if !s.Plan.DualStream || !s.Plan.CombineRule || !s.Plan.RuleDistribute {
+		t.Fatalf("full fusion expected for NEON fast: %+v", s.Plan)
+	}
+	if s.PlanesElided != frames*int64(s.Plan.PlanesElided) || s.BytesSaved != frames*s.Plan.BytesSaved {
+		t.Fatalf("elision accounting: %+v", s)
+	}
+	if s.PlanMisses != 1 {
+		t.Fatalf("stable shape should plan once, got %d misses", s.PlanMisses)
+	}
+	if fu2 := New(engine.NewNEON(false), Config{Levels: 2}); true {
+		defer fu2.Close()
+		rec, _, err := fu2.FuseFrames(sc.Visible(), sc.Thermal())
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec.Release()
+		s2 := fu2.FusionStats()
+		if s2.Enabled || s2.FusedFrames != 0 || s2.Plan.Any() {
+			t.Fatalf("fusion off must stay unfused: %+v", s2)
+		}
+	}
+}
+
+// TestFusedVetoEmulatedEngine: the emulated NEON engine vetoes tiling and
+// therefore fusion; KernelFusion on must be a no-op (and still correct).
+func TestFusedVetoEmulatedEngine(t *testing.T) {
+	sc := camera.NewScene(64, 48, 5)
+	vis, ir := sc.Visible(), sc.Thermal()
+	base := Config{Levels: 2, IncludeIO: true}
+	refRec, refSt := fusePair(t, engine.NewNEONEmulated(false), base, vis, ir)
+	cfg := base
+	cfg.KernelFusion = true
+	gotRec, gotSt := fusePair(t, engine.NewNEONEmulated(false), cfg, vis, ir)
+	assertIdentical(t, "emulated-veto", refRec, gotRec, refSt, gotSt)
+	refRec.Release()
+	gotRec.Release()
+
+	fu := New(engine.NewNEONEmulated(false), cfg)
+	defer fu.Close()
+	rec, _, err := fu.FuseFrames(vis, ir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.Release()
+	if s := fu.FusionStats(); s.FusedFrames != 0 || s.Plan.Any() {
+		t.Fatalf("emulated engine must veto fusion: %+v", s)
+	}
+}
+
+// FuzzFusedEquivalence fuzzes the fused-vs-unfused equivalence over
+// geometry, depth, engine, worker count and scene content: with
+// KernelFusion on, pixels and StageTimes must be bit-identical to the
+// unfused reference — whether the shape fuses fully, partially (custom
+// rules, small sizes) or not at all (vetoed engines).
+func FuzzFusedEquivalence(f *testing.F) {
+	// (w, h, levels, engine selector, workers, seed)
+	f.Add(uint8(32), uint8(24), uint8(1), uint8(1), uint8(1), int64(1))
+	f.Add(uint8(35), uint8(35), uint8(2), uint8(1), uint8(4), int64(2))
+	f.Add(uint8(40), uint8(40), uint8(3), uint8(2), uint8(2), int64(3))
+	f.Add(uint8(64), uint8(48), uint8(3), uint8(0), uint8(3), int64(4))
+	f.Add(uint8(57), uint8(63), uint8(4), uint8(1), uint8(2), int64(5))
+	f.Fuzz(func(t *testing.T, w, h, levels, engSel, workers uint8, seed int64) {
+		W := 8 + int(w)%57 // 8..64
+		H := 8 + int(h)%57
+		maxLv := wavelet.MaxLevels(W, H)
+		if maxLv < 1 {
+			t.Skip("degenerate geometry")
+		}
+		lv := 1 + int(levels)%maxLv
+		eng := func() engine.Engine {
+			switch engSel % 3 {
+			case 0:
+				eng := engine.NewARM()
+				return eng
+			case 1:
+				return engine.NewNEON(false)
+			default:
+				return engine.NewNEONEmulated(false)
+			}
+		}
+		wk := 1 + int(workers)%4
+		if wk > runtime.GOMAXPROCS(0) {
+			defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(wk))
+		}
+		sc := camera.NewScene(W, H, seed)
+		vis, ir := sc.Visible(), sc.Thermal()
+
+		base := Config{Levels: lv, IncludeIO: true, KernelWorkers: 1}
+		refRec, refSt := fusePair(t, eng(), base, vis, ir)
+		cfg := base
+		cfg.KernelWorkers = wk
+		cfg.KernelFusion = true
+		gotRec, gotSt := fusePair(t, eng(), cfg, vis, ir)
+		label := fmt.Sprintf("%dx%d lv=%d eng=%d w=%d", W, H, lv, engSel%3, wk)
+		assertIdentical(t, label, refRec, gotRec, refSt, gotSt)
+		refRec.Release()
+		gotRec.Release()
+	})
+}

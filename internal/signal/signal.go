@@ -185,15 +185,23 @@ func PadPeriodicPairs(c []float32, p []float32) []float32 {
 }
 
 // Rotate writes rotate(x, by) into dst: dst[i] = x[(i+by) mod n]. dst and x
-// must not alias unless identical lengths and by == 0.
+// must not alias unless identical lengths and by == 0. The rotation is two
+// block copies — a left part sourced from x[s:] and a wrapped part from
+// x[:s] — so no per-element index arithmetic runs on this hot path.
 func Rotate(dst, x []float32, by int) {
 	n := len(x)
 	if len(dst) != n {
 		panic("signal.Rotate: length mismatch")
 	}
-	for i := range dst {
-		dst[i] = x[mod(i+by, n)]
+	if n == 0 {
+		return
 	}
+	s := by % n
+	if s < 0 {
+		s += n
+	}
+	copy(dst, x[s:])
+	copy(dst[n-s:], x[:s])
 }
 
 func mod(a, n int) int {

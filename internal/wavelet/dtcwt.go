@@ -427,8 +427,13 @@ func comboTrees(c int) (rowTree, colTree byte) {
 	}
 }
 
-// invSqrt2 scales the unitary four-real-to-two-complex combination.
-const invSqrt2 = 0.7071067811865476
+// InvSqrt2 scales the unitary four-real-to-two-complex combination (the
+// q2c map and its c2q inverse). Exported for the fused
+// combine+rule+distribute kernels in the fusion package, which must mirror
+// the per-element expressions here exactly to stay bit-identical.
+const InvSqrt2 = 0.7071067811865476
+
+const invSqrt2 = InvSqrt2
 
 // combineLevelInto applies the q2c map to each detail band of one level,
 // writing into the pre-shaped bands of out:
@@ -439,17 +444,9 @@ const invSqrt2 = 0.7071067811865476
 // with p = AA, q = BB, r = AB, s = BA. The map is unitary, so
 // |z1|^2 + |z2|^2 = p^2 + q^2 + r^2 + s^2 and it is exactly invertible.
 func combineLevelInto(x *Xfm, trees [numTrees]*Decomp, lv int, out *DTLevel) {
+	combineLevelCompute(x, trees, lv, out)
+	n := len(bandOf(trees[TreeAA], lv, 0).Pix)
 	for bi := 0; bi < 3; bi++ {
-		p := bandOf(trees[TreeAA], lv, bi)
-		q := bandOf(trees[TreeBB], lv, bi)
-		r := bandOf(trees[TreeAB], lv, bi)
-		s := bandOf(trees[TreeBA], lv, bi)
-		z1 := out.Bands[bi]
-		z2 := out.Bands[5-bi]
-		n := len(p.Pix)
-		x.q2c = q2cTask{p: p.Pix, q: q.Pix, r: r.Pix, s: s.Pix,
-			z1re: z1.Re, z1im: z1.Im, z2re: z2.Re, z2im: z2.Im}
-		x.W.Run(n, kernels.Grain(n, 32, x.W.N()), &x.q2c)
 		x.chargeCPU(4 * n)
 	}
 }

@@ -372,27 +372,11 @@ func inverseLevelPooled(x *Xfm, rowBank, colBank *Bank, ll *frame.Frame, b Bands
 // replication — a pass-through when already even, otherwise a plane leased
 // from pool that the caller releases via the returned owned handle.
 func padEvenPooled(x *Xfm, img *frame.Frame, pool *bufpool.Pool) (padded, owned *frame.Frame, err error) {
-	if img.W%2 == 0 && img.H%2 == 0 {
-		return img, nil, nil
+	padded, owned, err = padEvenCompute(img, pool)
+	if owned != nil {
+		x.chargeCPU(owned.W * owned.H)
 	}
-	w, h := img.W+img.W%2, img.H+img.H%2
-	p, err := pool.Get(w, h)
-	if err != nil {
-		return nil, nil, err
-	}
-	for y := 0; y < h; y++ {
-		sy := y
-		if sy >= img.H {
-			sy = img.H - 1
-		}
-		dst := p.Row(y)
-		copy(dst, img.Row(sy))
-		if w > img.W {
-			dst[w-1] = dst[img.W-1]
-		}
-	}
-	x.chargeCPU(w * h)
-	return p, p, nil
+	return padded, owned, err
 }
 
 func growCol(x *Xfm, n int) []float32 {

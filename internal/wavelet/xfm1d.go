@@ -65,6 +65,11 @@ func (s *scratch) release() {
 // pool.
 type tileScratch struct {
 	px, plo, phi, y, y2, col, hiCol, lo, hi scratch
+
+	// Column-block staging for the fused dual-tree vertical pass: a block
+	// of gathered input columns and the per-bank subband outputs awaiting
+	// the blocked scatter (see fwdColsDualTask).
+	colBlk, bLoA, bHiA, bLoB, bHiB scratch
 }
 
 func (t *tileScratch) release() {
@@ -77,6 +82,11 @@ func (t *tileScratch) release() {
 	t.hiCol.release()
 	t.lo.release()
 	t.hi.release()
+	t.colBlk.release()
+	t.bLoA.release()
+	t.bHiA.release()
+	t.bLoB.release()
+	t.bHiB.release()
 }
 
 // Xfm performs 1-D analysis/synthesis passes with a given kernel, reusing
@@ -98,15 +108,26 @@ type Xfm struct {
 	ws      []tileScratch      // per-worker scratch for tiled passes
 
 	// Reusable task boxes: passing pointers to these through the Task
-	// interface keeps tiled dispatch at zero allocations per frame.
-	fwdRows  fwdRowsTask
-	fwdCols  fwdColsTask
-	invCols  invColsTask
-	invRows  invRowsTask
-	q2c      q2cTask
-	c2q      c2qTask
-	pixAcc   accTask
-	pixScale scaleTask
+	// interface keeps tiled dispatch at zero allocations per frame. The B
+	// variants are the second stream of the fused dual-stream traversal,
+	// which pairs two bodies per dispatch.
+	fwdRows     fwdRowsTask
+	fwdRowsB    fwdRowsTask
+	fwdCols     fwdColsTask
+	fwdColsB    fwdColsTask
+	fwdColsD    fwdColsDualTask
+	fwdColsDB   fwdColsDualTask
+	fwdColsK    fwdColsBlkTask
+	fwdColsKB   fwdColsBlkTask
+	pair        pairTask
+	invCols     invColsTask
+	invColsK    invColsBlkTask
+	invRows     invRowsTask
+	q2c         q2cTask
+	c2q         c2qTask
+	pixAcc      accTask
+	pixScale    scaleTask
+	pixAccScale accScaleTask
 }
 
 // NewXfm returns a transformer driving the given kernel.
@@ -144,6 +165,11 @@ func (x *Xfm) ReleaseScratch() {
 		x.ws[i].release()
 	}
 }
+
+// TileCapable reports whether the kernel offers concurrency-safe tile
+// compute — the legality gate for operator fusion as well as tiled
+// dispatch. Engines that veto tiling via TilingEnabled report false.
+func (x *Xfm) TileCapable() bool { return x.tile != nil }
 
 // tiledKernels reports whether 2-D kernel passes should run tiled: the
 // kernel must offer concurrency-safe tile compute and the pool must have
